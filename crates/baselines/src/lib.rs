@@ -1,0 +1,27 @@
+//! Baseline prefetchers evaluated against Best-Offset in the paper.
+//!
+//! * [`FixedOffsetPrefetcher`] — constant-offset prefetching; `D = 1` is
+//!   the default L2 next-line prefetcher of the baseline (§5.6, Figures
+//!   5, 7, 8),
+//! * [`SandboxPrefetcher`] — Pugsley et al.'s SBP as adapted in §6.3
+//!   (52-offset list, 2048-bit Bloom filter, 256-access periods),
+//! * [`StridePrefetcher`] — the PC-indexed DL1 stride prefetcher (§5.5),
+//! * [`AmpmPrefetcher`] — an AMPM-lite extension (the DPC-1 winner the
+//!   paper positions SBP against).
+//!
+//! All L2 prefetchers implement [`best_offset::L2Prefetcher`]; the DL1
+//! stride prefetcher has its own retire/access interface because it works
+//! on virtual addresses and trains in program order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ampm;
+mod fixed;
+mod sandbox;
+mod stride;
+
+pub use ampm::{AmpmConfig, AmpmPrefetcher};
+pub use fixed::FixedOffsetPrefetcher;
+pub use sandbox::{BloomFilter, SandboxPrefetcher, SbpConfig};
+pub use stride::{StrideConfig, StridePrefetcher};

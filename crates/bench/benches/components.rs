@@ -1,0 +1,219 @@
+//! Criterion micro-benchmarks for the simulator's hardware components.
+//!
+//! These measure simulation-host throughput of the structures the paper's
+//! mechanisms are built from (RR table, score learning, Bloom-filter
+//! sandbox, cache arrays, 5P policy, TAGE, DRAM mapping/scheduling,
+//! synthetic trace generation).
+
+use best_offset::{
+    AccessOutcome, BestOffsetPrefetcher, L2Access, L2Prefetcher, OffsetList, RrTable,
+};
+use bosim_baselines::{BloomFilter, SandboxPrefetcher, StridePrefetcher};
+use bosim_cache::policy::{InsertCtx, PolicyKind};
+use bosim_cache::CacheArray;
+use bosim_cpu::{Tage, Tlb};
+use bosim_dram::{map_line, MemConfig, MemorySystem};
+use bosim_trace::{suite, TraceSource};
+use bosim_types::{CoreId, LineAddr, PageSize, VirtAddr};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_rr_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rr_table");
+    g.bench_function("insert", |b| {
+        let mut t = RrTable::new(256, 12);
+        let mut i = 0u64;
+        b.iter(|| {
+            t.insert(LineAddr(black_box(i)));
+            i = i.wrapping_add(97);
+        });
+    });
+    g.bench_function("lookup", |b| {
+        let mut t = RrTable::new(256, 12);
+        for i in 0..256 {
+            t.insert(LineAddr(i * 131));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let hit = t.contains(LineAddr(black_box(i)));
+            i = i.wrapping_add(131);
+            black_box(hit)
+        });
+    });
+    g.finish();
+}
+
+fn bench_bo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best_offset");
+    g.bench_function("on_access_stream", |b| {
+        let mut bo = BestOffsetPrefetcher::with_defaults(PageSize::M4);
+        let mut out = Vec::new();
+        let mut line = 0u64;
+        b.iter(|| {
+            out.clear();
+            bo.on_access(
+                L2Access {
+                    line: LineAddr(line),
+                    outcome: AccessOutcome::Miss,
+                },
+                &mut out,
+            );
+            for &l in &out {
+                bo.on_fill(l, true);
+            }
+            line += 1;
+        });
+    });
+    g.bench_function("offset_list_generation", |b| {
+        b.iter(|| black_box(OffsetList::smooth5(256)));
+    });
+    g.finish();
+}
+
+fn bench_sbp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sandbox");
+    g.bench_function("bloom_insert_contains", |b| {
+        let mut f = BloomFilter::new(2048, 3);
+        let mut i = 0u64;
+        b.iter(|| {
+            f.insert(black_box(i));
+            let hit = f.contains(black_box(i / 2));
+            i += 1;
+            black_box(hit)
+        });
+    });
+    g.bench_function("on_access_stream", |b| {
+        let mut sbp = SandboxPrefetcher::with_defaults(PageSize::M4);
+        let mut out = Vec::new();
+        let mut line = 0u64;
+        b.iter(|| {
+            out.clear();
+            sbp.on_access(
+                L2Access {
+                    line: LineAddr(line),
+                    outcome: AccessOutcome::Miss,
+                },
+                &mut out,
+            );
+            line += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_stride(c: &mut Criterion) {
+    c.bench_function("stride_prefetcher_retire_access", |b| {
+        let mut s = StridePrefetcher::with_defaults();
+        let mut addr = 0u64;
+        b.iter(|| {
+            s.on_retire(0x400100, VirtAddr(addr));
+            let p = s.on_access(0x400100, VirtAddr(addr));
+            addr += 96;
+            black_box(p)
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_array");
+    for (name, policy) in [("lru", PolicyKind::Lru), ("fivep", PolicyKind::FiveP)] {
+        g.bench_function(format!("l3_access_insert_{name}"), |b| {
+            let mut l3 = CacheArray::new(8 << 20, 16, policy, 4, 7);
+            let mut line = 0u64;
+            let ctx = InsertCtx {
+                demand: true,
+                core: CoreId(0),
+            };
+            b.iter(|| {
+                let l = LineAddr(black_box(line));
+                if l3.access(l, false).is_none() {
+                    l3.insert(l, false, false, ctx);
+                }
+                line = line.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 12;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tage(c: &mut Criterion) {
+    c.bench_function("tage_update", |b| {
+        let mut t = Tage::with_defaults();
+        let mut i = 0u64;
+        b.iter(|| {
+            let taken = (i / 3) % 2 == 0;
+            let r = t.update(0x400000 + (i % 64) * 4, taken);
+            i += 1;
+            black_box(r)
+        });
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb2_access", |b| {
+        let mut t = Tlb::new(512, 8);
+        for v in 0..512 {
+            t.fill(v);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            let hit = t.access(black_box(v % 700));
+            v += 1;
+            black_box(hit)
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.bench_function("map_line", |b| {
+        let mut l = 0u64;
+        b.iter(|| {
+            let loc = map_line(LineAddr(black_box(l)));
+            l = l.wrapping_add(0x55555);
+            black_box(loc)
+        });
+    });
+    g.bench_function("single_read_roundtrip", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig {
+                num_cores: 1,
+                ..Default::default()
+            });
+            mem.enqueue_read(LineAddr(0x1234), CoreId(0), 1, 0);
+            let mut out = Vec::new();
+            let mut now = 0;
+            while out.is_empty() {
+                mem.tick(now, true, &mut out);
+                now += 1;
+            }
+            black_box(now)
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    for id in ["462", "429", "403"] {
+        g.bench_function(format!("uops_{id}"), |b| {
+            let spec = suite::benchmark(id).expect("exists");
+            let mut src = spec.build();
+            b.iter(|| black_box(src.next_uop()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rr_table,
+    bench_bo,
+    bench_sbp,
+    bench_stride,
+    bench_cache,
+    bench_tage,
+    bench_tlb,
+    bench_dram,
+    bench_trace_gen
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end simulator throughput: short full-system runs per
+//! L2-prefetcher configuration.
+
+use bosim::{L2PrefetcherKind, SimConfig, System};
+use bosim_trace::suite;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system_20k_instructions");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("none", L2PrefetcherKind::None),
+        ("next_line", L2PrefetcherKind::NextLine),
+        ("bo", L2PrefetcherKind::Bo(Default::default())),
+        ("sbp", L2PrefetcherKind::Sbp(Default::default())),
+    ] {
+        g.bench_function(name, |b| {
+            let spec = suite::benchmark("462").expect("exists");
+            let cfg = SimConfig {
+                warmup_instructions: 2_000,
+                measure_instructions: 20_000,
+                ..Default::default()
+            }
+            .with_prefetcher(kind.clone());
+            b.iter(|| {
+                let mut sys = System::new(&cfg, &spec);
+                black_box(sys.run().ipc())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Ablation (§4.3 discussion): degree-1 vs degree-2 Best-Offset
+//! prefetching (best + second-best offsets), GM speedup and the traffic
+//! cost.
+use best_offset::BoConfig;
+use bosim::{L2PrefetcherKind, SimConfig};
+use bosim_bench::gm_variants_figure;
+use bosim_types::PageSize;
+
+fn main() {
+    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![
+        (
+            "BO degree-1".to_string(),
+            Box::new(|p, n| {
+                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
+            }),
+        ),
+        (
+            "BO degree-2".to_string(),
+            Box::new(|p, n| {
+                let cfg = BoConfig { degree: 2, ..Default::default() };
+                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(cfg))
+            }),
+        ),
+    ];
+    gm_variants_figure("Ablation: BO prefetch degree (GM speedup)", &variants).print();
+}

@@ -1,0 +1,30 @@
+//! Extension experiment: BO vs SBP vs AMPM-lite (geometric-mean speedup
+//! over the next-line baselines). Reproduces the §2 context claim that
+//! SBP matches AMPM while BO beats both.
+use bosim::{L2PrefetcherKind, SimConfig};
+use bosim_bench::gm_variants_figure;
+use bosim_types::PageSize;
+
+fn main() {
+    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![
+        (
+            "BO".to_string(),
+            Box::new(|p, n| {
+                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
+            }),
+        ),
+        (
+            "SBP".to_string(),
+            Box::new(|p, n| {
+                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Sbp(Default::default()))
+            }),
+        ),
+        (
+            "AMPM".to_string(),
+            Box::new(|p, n| {
+                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Ampm(Default::default()))
+            }),
+        ),
+    ];
+    gm_variants_figure("Extension: BO vs SBP vs AMPM-lite (GM speedup)", &variants).print();
+}

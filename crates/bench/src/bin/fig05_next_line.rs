@@ -1,0 +1,14 @@
+//! Figure 5: impact of disabling the L2 next-line prefetcher (speedups
+//! relative to the baselines; below 1.0 means next-line helps).
+use bosim::{L2PrefetcherKind, SimConfig};
+use bosim_bench::per_benchmark_speedup_figure;
+
+fn main() {
+    let fig = per_benchmark_speedup_figure(
+        "Figure 5: disabling the L2 next-line prefetcher",
+        |page, cores| {
+            SimConfig::baseline(page, cores).with_prefetcher(L2PrefetcherKind::None)
+        },
+    );
+    fig.print();
+}

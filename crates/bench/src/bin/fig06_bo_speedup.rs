@@ -1,0 +1,14 @@
+//! Figure 6: BO prefetcher speedup relative to the next-line baselines.
+use bosim::{L2PrefetcherKind, SimConfig};
+use bosim_bench::per_benchmark_speedup_figure;
+
+fn main() {
+    let fig = per_benchmark_speedup_figure(
+        "Figure 6: BO prefetcher speedup over next-line",
+        |page, cores| {
+            SimConfig::baseline(page, cores)
+                .with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
+        },
+    );
+    fig.print();
+}

@@ -1,0 +1,25 @@
+//! Figure 11: BO vs SBP (geometric mean speedups relative to the
+//! next-line baselines).
+use bosim::{L2PrefetcherKind, SimConfig};
+use bosim_bench::gm_variants_figure;
+use bosim_types::PageSize;
+
+fn main() {
+    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![
+        (
+            "BO".to_string(),
+            Box::new(|p, n| {
+                SimConfig::baseline(p, n)
+                    .with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
+            }),
+        ),
+        (
+            "SBP".to_string(),
+            Box::new(|p, n| {
+                SimConfig::baseline(p, n)
+                    .with_prefetcher(L2PrefetcherKind::Sbp(Default::default()))
+            }),
+        ),
+    ];
+    gm_variants_figure("Figure 11: BO vs SBP (GM speedup)", &variants).print();
+}

@@ -1,0 +1,23 @@
+//! Figure 12: BO prefetcher speedup relative to SBP, per benchmark.
+use bosim::{L2PrefetcherKind, SimConfig};
+use bosim_bench::{cfg_label, run_grid, selected_benchmarks, short_label, six_baselines, Figure};
+
+fn main() {
+    let benches = selected_benchmarks();
+    let baselines = six_baselines();
+    let mut configs = Vec::new();
+    for &(p, n) in &baselines {
+        configs.push(SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Sbp(Default::default())));
+        configs.push(SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(Default::default())));
+    }
+    let grids = run_grid(&benches, &configs);
+    let series = baselines.iter().map(|&(p, n)| cfg_label(p, n)).collect();
+    let mut fig = Figure::new("Figure 12: BO speedup relative to SBP", series);
+    for (bi, b) in benches.iter().enumerate() {
+        let vals = (0..baselines.len())
+            .map(|ci| grids[ci * 2 + 1][bi].ipc() / grids[ci * 2][bi].ipc())
+            .collect();
+        fig.row(short_label(&b.name), vals);
+    }
+    fig.print();
+}

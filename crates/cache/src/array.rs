@@ -1,0 +1,372 @@
+//! Set-associative cache arrays with prefetch bits.
+//!
+//! Each L2 entry carries a *prefetch bit* (§5.6): set when a prefetched
+//! line is inserted, reset whenever the line is requested by the level
+//! above. "Prefetched hits" (hit with the prefetch bit set) trigger the
+//! L2 prefetcher exactly like misses do.
+
+use crate::policy::{InsertCtx, PolicyKind, ReplacementPolicy};
+use bosim_types::LineAddr;
+
+/// A block evicted by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether it was dirty (must be written back).
+    pub dirty: bool,
+}
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// The way that hit.
+    pub way: usize,
+    /// State of the prefetch bit *before* this access cleared it.
+    pub was_prefetch: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineMeta {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetch: bool,
+}
+
+const INVALID: LineMeta = LineMeta {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    prefetch: false,
+};
+
+/// A set-associative cache array with pluggable replacement.
+///
+/// The array stores tags and status bits only (trace-driven timing
+/// simulation carries no data). Statistics are kept by the caller.
+#[derive(Debug)]
+pub struct CacheArray {
+    sets: usize,
+    ways: usize,
+    meta: Vec<LineMeta>,
+    repl_state: Vec<u8>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl CacheArray {
+    /// Builds a cache of `size_bytes` capacity with `ways` ways of 64-byte
+    /// lines and the given replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes / (64 * ways)` is a power of two of at
+    /// least one set.
+    pub fn new(size_bytes: u64, ways: usize, policy: PolicyKind, num_cores: usize, seed: u64) -> Self {
+        assert!(ways >= 1);
+        let sets = (size_bytes / (64 * ways as u64)) as usize;
+        assert!(sets >= 1, "cache too small");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let n = sets * ways;
+        let mut repl_state = vec![0u8; n];
+        // Initialise LRU ages to a valid permutation per set.
+        for set in 0..sets {
+            for w in 0..ways {
+                repl_state[set * ways + w] = w as u8;
+            }
+        }
+        CacheArray {
+            sets,
+            ways,
+            meta: vec![INVALID; n],
+            repl_state,
+            policy: policy.build(num_cores, seed),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// The set index for a line.
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.0 >> self.sets.trailing_zeros()
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        (0..self.ways)
+            .find(|&w| self.meta[self.idx(set, w)].valid && self.meta[self.idx(set, w)].tag == tag)
+    }
+
+    /// Pure lookup without any state change (used for the mandatory tag
+    /// check before inserting a prefetched block, §5.4).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Performs an access. On a hit, moves the block to MRU, reports and
+    /// clears the prefetch bit, and optionally marks it dirty.
+    ///
+    /// Returns `None` on a miss (the caller issues a fill).
+    pub fn access(&mut self, line: LineAddr, write: bool) -> Option<HitInfo> {
+        let way = self.find(line)?;
+        let set = self.set_of(line);
+        let i = self.idx(set, way);
+        let was_prefetch = self.meta[i].prefetch;
+        self.meta[i].prefetch = false;
+        if write {
+            self.meta[i].dirty = true;
+        }
+        let base = set * self.ways;
+        self.policy
+            .on_hit(set, &mut self.repl_state[base..base + self.ways], way);
+        Some(HitInfo { way, was_prefetch })
+    }
+
+    /// Re-reads the prefetch bit of a resident line without touching
+    /// replacement state (used by prefetchers observing L2 state).
+    pub fn prefetch_bit(&self, line: LineAddr) -> Option<bool> {
+        self.find(line).map(|w| {
+            let set = self.set_of(line);
+            self.meta[self.idx(set, w)].prefetch
+        })
+    }
+
+    /// Inserts a fetched block. `prefetched` sets the prefetch bit; `ctx`
+    /// feeds the replacement policy. Returns the evicted block, if any.
+    ///
+    /// The caller must guarantee the line is not already present (§5.4:
+    /// "we must check the cache tags to make sure that the block is not
+    /// already in the cache ... Blocks must not be duplicated").
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already present.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        prefetched: bool,
+        dirty: bool,
+        ctx: InsertCtx,
+    ) -> Option<Evicted> {
+        debug_assert!(
+            !self.contains(line),
+            "duplicate insertion of {line}"
+        );
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let (way, evicted) = match (0..self.ways).find(|&w| !self.meta[self.idx(set, w)].valid) {
+            Some(w) => (w, None),
+            None => {
+                let w = self
+                    .policy
+                    .victim(set, &mut self.repl_state[base..base + self.ways]);
+                let m = self.meta[self.idx(set, w)];
+                let victim_line =
+                    LineAddr((m.tag << self.sets.trailing_zeros()) | set as u64);
+                (
+                    w,
+                    Some(Evicted {
+                        line: victim_line,
+                        dirty: m.dirty,
+                    }),
+                )
+            }
+        };
+        let i = self.idx(set, way);
+        self.meta[i] = LineMeta {
+            tag: self.tag_of(line),
+            valid: true,
+            dirty,
+            prefetch: prefetched,
+        };
+        self.policy
+            .on_insert(set, &mut self.repl_state[base..base + self.ways], way, ctx);
+        evicted
+    }
+
+    /// Marks a resident line dirty (writeback arriving from above).
+    /// Returns false when the line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        match self.find(line) {
+            Some(w) => {
+                let set = self.set_of(line);
+                let i = self.idx(set, w);
+                self.meta[i].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates a line if present; returns its dirtiness.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let w = self.find(line)?;
+        let set = self.set_of(line);
+        let i = self.idx(set, w);
+        let dirty = self.meta[i].dirty;
+        self.meta[i] = INVALID;
+        Some(dirty)
+    }
+
+    /// Number of valid lines currently resident (O(n), for tests/stats).
+    pub fn occupancy(&self) -> usize {
+        self.meta.iter().filter(|m| m.valid).count()
+    }
+
+    /// The replacement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bosim_types::CoreId;
+    use proptest::prelude::*;
+
+    fn ctx() -> InsertCtx {
+        InsertCtx {
+            demand: true,
+            core: CoreId(0),
+        }
+    }
+
+    fn small_cache() -> CacheArray {
+        // 4 sets x 2 ways.
+        CacheArray::new(512, 2, PolicyKind::Lru, 1, 1)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheArray::new(512 << 10, 8, PolicyKind::Lru, 1, 1);
+        assert_eq!(c.sets(), 1024);
+        assert_eq!(c.ways(), 8);
+        let l3 = CacheArray::new(8 << 20, 16, PolicyKind::FiveP, 4, 1);
+        assert_eq!(l3.sets(), 8192);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        let line = LineAddr(0x40);
+        assert!(c.access(line, false).is_none());
+        assert!(c.insert(line, false, false, ctx()).is_none());
+        let hit = c.access(line, false).unwrap();
+        assert!(!hit.was_prefetch);
+    }
+
+    #[test]
+    fn prefetch_bit_set_and_cleared_on_request() {
+        let mut c = small_cache();
+        let line = LineAddr(0x123);
+        c.insert(line, true, false, ctx());
+        assert_eq!(c.prefetch_bit(line), Some(true));
+        let hit = c.access(line, false).unwrap();
+        assert!(hit.was_prefetch, "first access sees the prefetch bit");
+        let hit2 = c.access(line, false).unwrap();
+        assert!(!hit2.was_prefetch, "the bit is reset by the request");
+    }
+
+    #[test]
+    fn eviction_reconstructs_line_address() {
+        let mut c = small_cache(); // 4 sets, 2 ways
+        // Three lines mapping to set 0: 0, 4, 8 (line addr % 4 == 0).
+        c.insert(LineAddr(0), false, true, ctx());
+        c.insert(LineAddr(4), false, false, ctx());
+        let ev = c.insert(LineAddr(8), false, false, ctx()).unwrap();
+        assert_eq!(ev.line, LineAddr(0), "LRU victim is the oldest");
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn hit_refreshes_lru() {
+        let mut c = small_cache();
+        c.insert(LineAddr(0), false, false, ctx());
+        c.insert(LineAddr(4), false, false, ctx());
+        c.access(LineAddr(0), false); // refresh 0
+        let ev = c.insert(LineAddr(8), false, false, ctx()).unwrap();
+        assert_eq!(ev.line, LineAddr(4));
+    }
+
+    #[test]
+    fn write_marks_dirty() {
+        let mut c = small_cache();
+        c.insert(LineAddr(0), false, false, ctx());
+        c.access(LineAddr(0), true);
+        c.insert(LineAddr(4), false, false, ctx());
+        let ev = c.insert(LineAddr(8), false, false, ctx()).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small_cache();
+        c.insert(LineAddr(0), false, true, ctx());
+        assert_eq!(c.invalidate(LineAddr(0)), Some(true));
+        assert!(!c.contains(LineAddr(0)));
+        assert_eq!(c.invalidate(LineAddr(0)), None);
+    }
+
+    proptest! {
+        /// No duplicate lines, occupancy bounded by capacity, and every
+        /// line inserted is either resident or was evicted exactly once.
+        #[test]
+        fn prop_no_duplicates_and_bounded(ops in proptest::collection::vec(0u64..64, 1..300)) {
+            let mut c = CacheArray::new(1024, 2, PolicyKind::Lru, 1, 7); // 8 sets x 2
+            let mut resident: std::collections::HashSet<u64> = Default::default();
+            for line in ops {
+                let l = LineAddr(line);
+                if c.access(l, false).is_none() {
+                    let ev = c.insert(l, false, false, InsertCtx { demand: true, core: CoreId(0) });
+                    if let Some(e) = ev {
+                        prop_assert!(resident.remove(&e.line.0), "evicted non-resident {:?}", e.line);
+                    }
+                    prop_assert!(resident.insert(line));
+                } else {
+                    prop_assert!(resident.contains(&line));
+                }
+                prop_assert!(c.occupancy() <= 16);
+                prop_assert_eq!(c.occupancy(), resident.len());
+            }
+        }
+
+        /// The same workload under any policy keeps the "no duplicates"
+        /// invariant (the policies differ only in *which* line they evict).
+        #[test]
+        fn prop_all_policies_keep_invariants(ops in proptest::collection::vec(0u64..128, 1..200),
+                                             pol in 0usize..5) {
+            let kind = [PolicyKind::Lru, PolicyKind::Bip, PolicyKind::Dip,
+                        PolicyKind::Drrip, PolicyKind::FiveP][pol];
+            let mut c = CacheArray::new(2048, 4, kind, 4, 11); // 8 sets x 4
+            for line in ops {
+                let l = LineAddr(line);
+                if c.access(l, false).is_none() {
+                    c.insert(l, false, false, InsertCtx { demand: true, core: CoreId((line % 4) as u8) });
+                }
+                prop_assert!(c.contains(l), "line must be resident after fill");
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Fill queues with associative search (§5.4).
+//!
+//! The baseline has no L2/L3 MSHRs: "Instead, we add associative search
+//! capability to the fill queues. A fill queue is a FIFO holding the
+//! blocks that are to be inserted in the cache. An entry is allocated in
+//! the fill queue when a miss request is issued to the next cache level
+//! ... a request is not issued until there is a free entry."
+//!
+//! Late prefetches: "When a demand miss hits in a fill queue and the block
+//! in the fill queue was prefetched, the miss request is dropped and the
+//! block in the fill queue is promoted from prefetch to demand miss."
+
+use bosim_types::{LineAddr, ReqClass};
+use std::collections::VecDeque;
+
+/// One fill queue entry. `T` is simulator-defined payload (requester
+/// bookkeeping: which levels need the block, which loads wait on it).
+#[derive(Debug, Clone)]
+pub struct FillEntry<T> {
+    /// The block's line address.
+    pub line: LineAddr,
+    /// Data has arrived and the entry is ready for cache insertion.
+    pub ready: bool,
+    /// Demand/prefetch class; promotion flips prefetch → demand.
+    pub class: ReqClass,
+    /// Caller payload.
+    pub payload: T,
+}
+
+/// A bounded FIFO of pending fills with CAM (associative) search.
+#[derive(Debug)]
+pub struct FillQueue<T> {
+    cap: usize,
+    entries: VecDeque<FillEntry<T>>,
+}
+
+impl<T> FillQueue<T> {
+    /// Creates a fill queue of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "fill queue needs capacity");
+        FillQueue {
+            cap,
+            entries: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no free entry remains (requests must wait, §5.4).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.cap
+    }
+
+    /// Reserves an entry at the tail. Returns `false` (and does nothing)
+    /// when the queue is full.
+    pub fn try_reserve(&mut self, line: LineAddr, class: ReqClass, payload: T) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push_back(FillEntry {
+            line,
+            ready: false,
+            class,
+            payload,
+        });
+        true
+    }
+
+    /// CAM search for a pending entry.
+    pub fn find(&self, line: LineAddr) -> Option<&FillEntry<T>> {
+        self.entries.iter().find(|e| e.line == line)
+    }
+
+    /// CAM search, mutable (promotion, payload merging).
+    pub fn find_mut(&mut self, line: LineAddr) -> Option<&mut FillEntry<T>> {
+        self.entries.iter_mut().find(|e| e.line == line)
+    }
+
+    /// Marks the entry's data as arrived. Returns `false` when no entry
+    /// matches (e.g. it was released on an L3 miss).
+    pub fn set_ready(&mut self, line: LineAddr) -> bool {
+        match self.find_mut(line) {
+            Some(e) => {
+                e.ready = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Promotes a prefetch entry to demand class (late prefetch, §5.4).
+    /// Returns `true` if an entry matched (whatever its class).
+    pub fn promote(&mut self, line: LineAddr) -> bool {
+        match self.find_mut(line) {
+            Some(e) => {
+                e.class = ReqClass::Demand;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases a *not-ready* entry (the §5.4 L3-miss path: "the fill
+    /// queue entry is released, and the L1/L2 miss request becomes an
+    /// L1/L2/L3 miss request"). Returns the payload.
+    pub fn release(&mut self, line: LineAddr) -> Option<FillEntry<T>> {
+        let pos = self.entries.iter().position(|e| e.line == line && !e.ready)?;
+        self.entries.remove(pos)
+    }
+
+    /// Pops the oldest *ready* entry for insertion into the cache array.
+    ///
+    /// Entries become ready out of order (an L3 hit returns long before a
+    /// DRAM access), so insertion is oldest-ready-first rather than
+    /// strict-FIFO — this avoids unrealistic head-of-line blocking while
+    /// keeping allocation order FIFO as described in the paper.
+    pub fn pop_ready(&mut self) -> Option<FillEntry<T>> {
+        let pos = self.entries.iter().position(|e| e.ready)?;
+        self.entries.remove(pos)
+    }
+
+    /// Peeks the oldest ready entry without removing it.
+    pub fn peek_ready(&self) -> Option<&FillEntry<T>> {
+        self.entries.iter().find(|e| e.ready)
+    }
+
+    /// Iterates over all pending entries (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &FillEntry<T>> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fq() -> FillQueue<u32> {
+        FillQueue::new(4)
+    }
+
+    #[test]
+    fn reserve_until_full() {
+        let mut q = fq();
+        for i in 0..4 {
+            assert!(q.try_reserve(LineAddr(i), ReqClass::Demand, i as u32));
+        }
+        assert!(q.is_full());
+        assert!(!q.try_reserve(LineAddr(9), ReqClass::Demand, 9));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn ready_entries_pop_oldest_first() {
+        let mut q = fq();
+        q.try_reserve(LineAddr(1), ReqClass::Demand, 1);
+        q.try_reserve(LineAddr(2), ReqClass::Demand, 2);
+        q.try_reserve(LineAddr(3), ReqClass::Demand, 3);
+        assert!(q.pop_ready().is_none());
+        q.set_ready(LineAddr(3));
+        q.set_ready(LineAddr(2));
+        assert_eq!(q.pop_ready().unwrap().line, LineAddr(2));
+        assert_eq!(q.pop_ready().unwrap().line, LineAddr(3));
+        assert!(q.pop_ready().is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn promotion_changes_class() {
+        let mut q = fq();
+        q.try_reserve(LineAddr(7), ReqClass::L2Prefetch, 0);
+        assert!(q.promote(LineAddr(7)));
+        assert_eq!(q.find(LineAddr(7)).unwrap().class, ReqClass::Demand);
+        assert!(!q.promote(LineAddr(8)));
+    }
+
+    #[test]
+    fn release_only_not_ready() {
+        let mut q = fq();
+        q.try_reserve(LineAddr(5), ReqClass::Demand, 50);
+        let e = q.release(LineAddr(5)).unwrap();
+        assert_eq!(e.payload, 50);
+        assert!(q.is_empty());
+        // A ready entry cannot be released.
+        q.try_reserve(LineAddr(6), ReqClass::Demand, 60);
+        q.set_ready(LineAddr(6));
+        assert!(q.release(LineAddr(6)).is_none());
+    }
+
+    #[test]
+    fn cam_find() {
+        let mut q = fq();
+        q.try_reserve(LineAddr(11), ReqClass::L2Prefetch, 0);
+        assert!(q.find(LineAddr(11)).is_some());
+        assert!(q.find(LineAddr(12)).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        FillQueue::<()>::new(0);
+    }
+}

@@ -1,0 +1,521 @@
+//! The Best-Offset prefetcher (§4).
+//!
+//! On every eligible L2 read access (miss or prefetched hit) for line `X`:
+//!
+//! 1. **Prefetch issue** — if prefetch is on and `X + D` lies in the same
+//!    page, a prefetch for `X + D` is requested (degree one, §4.3).
+//! 2. **Learning** — the next offset `d` of the offset list is tested:
+//!    if `X − d` hits in the RR table, `d`'s score is incremented.
+//!
+//! When a line `Y` prefetched with offset `D` completes and is inserted
+//! into the L2, the *base address* `Y − D` is written to the RR table (if
+//! both lie in the same page): a hit on `X − d` therefore means "had the
+//! offset been `d`, the prefetch of `X` would have been issued by the
+//! access to `X − d` and would have completed by now" — i.e. it would have
+//! been *timely*. This is the key difference from the Sandbox prefetcher,
+//! which scores coverage only.
+//!
+//! A learning phase ends at the end of a round once a score reaches
+//! SCOREMAX or ROUNDMAX rounds have elapsed; the best-scoring offset
+//! becomes the new `D`. If the best score is not above BADSCORE, prefetch
+//! is turned off (§4.3) — but learning continues, with `Y` itself written
+//! to the RR table on every fill (i.e. `D = 0`).
+
+use crate::iface::{AccessOutcome, L2Access, L2Prefetcher};
+use crate::offsets::OffsetList;
+use crate::rr_table::RrTable;
+use bosim_types::{LineAddr, PageSize};
+
+/// Best-Offset prefetcher parameters (Table 2 defaults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoConfig {
+    /// RR table entries (Table 2: 256).
+    pub rr_entries: usize,
+    /// RR partial tag width in bits (Table 2: 12).
+    pub rr_tag_bits: u32,
+    /// Maximum score ending a learning phase (Table 2: 31).
+    pub score_max: u32,
+    /// Maximum rounds per learning phase (Table 2: 100).
+    pub round_max: u32,
+    /// Scores ≤ BADSCORE turn prefetch off (Table 2: 1).
+    pub bad_score: u32,
+    /// Prefetch degree (paper default 1). §4.3 discusses a degree-two
+    /// variant prefetching with the best *and* second-best offsets; this
+    /// implementation supports it as an extension (values 1 or 2).
+    pub degree: u32,
+    /// The candidate offset list (Table 2: the 52 offsets of §4.2).
+    pub offsets: OffsetList,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            rr_entries: 256,
+            rr_tag_bits: 12,
+            score_max: 31,
+            round_max: 100,
+            bad_score: 1,
+            degree: 1,
+            offsets: OffsetList::paper_default(),
+        }
+    }
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoStats {
+    /// Completed learning phases.
+    pub phases: u64,
+    /// Phases that ended with prefetch turned off.
+    pub phases_off: u64,
+    /// Prefetch requests issued.
+    pub issued: u64,
+    /// Eligible accesses observed.
+    pub eligible_accesses: u64,
+}
+
+/// The Best-Offset (BO) L2 prefetcher.
+#[derive(Debug)]
+pub struct BestOffsetPrefetcher {
+    cfg: BoConfig,
+    page: PageSize,
+    rr: RrTable,
+    scores: Vec<u32>,
+    /// Next offset index to test (round-robin within a round).
+    test_idx: usize,
+    rounds: u32,
+    /// Incrementally tracked best of the current phase.
+    best_idx: usize,
+    best_score: u32,
+    /// Incrementally tracked runner-up (degree-2 extension).
+    second_idx: usize,
+    second_score: u32,
+    /// Second prefetch offset (degree-2 extension; equals `offset` when
+    /// no distinct runner-up emerged).
+    second_offset: i64,
+    /// A score reached SCOREMAX: finish the phase at the end of the round.
+    saturated: bool,
+    /// Current prefetch offset D.
+    offset: i64,
+    /// Prefetch on/off (off when the last phase's best score ≤ BADSCORE).
+    prefetch_on: bool,
+    stats: BoStats,
+}
+
+impl BestOffsetPrefetcher {
+    /// Creates a BO prefetcher with the given configuration and page size.
+    pub fn new(cfg: BoConfig, page: PageSize) -> Self {
+        let n = cfg.offsets.len();
+        let rr = RrTable::new(cfg.rr_entries, cfg.rr_tag_bits);
+        assert!(
+            (1..=2).contains(&cfg.degree),
+            "supported prefetch degrees are 1 and 2"
+        );
+        BestOffsetPrefetcher {
+            offset: cfg.offsets.get(0),
+            second_offset: cfg.offsets.get(0),
+            cfg,
+            page,
+            rr,
+            scores: vec![0; n],
+            test_idx: 0,
+            rounds: 0,
+            best_idx: 0,
+            best_score: 0,
+            second_idx: 0,
+            second_score: 0,
+            saturated: false,
+            prefetch_on: true,
+            stats: BoStats::default(),
+        }
+    }
+
+    /// Creates a BO prefetcher with the Table 2 default parameters.
+    pub fn with_defaults(page: PageSize) -> Self {
+        Self::new(BoConfig::default(), page)
+    }
+
+    /// The current prefetch offset `D`.
+    pub fn current_offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// The second-best offset used by the degree-2 extension (equals
+    /// [`current_offset`](Self::current_offset) when degree is 1 or no
+    /// distinct runner-up scored above BADSCORE).
+    pub fn second_offset(&self) -> i64 {
+        self.second_offset
+    }
+
+    /// Whether prefetch is currently on (§4.3 throttling).
+    pub fn is_prefetching(&self) -> bool {
+        self.prefetch_on
+    }
+
+    /// Current learning-phase scores, in offset-list order.
+    pub fn scores(&self) -> &[u32] {
+        &self.scores
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BoConfig {
+        &self.cfg
+    }
+
+    /// Experiment counters.
+    pub fn stats(&self) -> BoStats {
+        self.stats
+    }
+
+    /// One learning step (§4.1): test the next offset in the list against
+    /// the RR table; close the phase at the end of a round if saturated
+    /// or ROUNDMAX reached.
+    fn learn(&mut self, x: LineAddr) {
+        let d = self.cfg.offsets.get(self.test_idx);
+        // X - d as an absolute line address; no page restriction is
+        // applied on lookups (insertions are page-restricted).
+        let probe = x.0 as i64 - d;
+        if probe >= 0 && self.rr.contains(LineAddr(probe as u64)) {
+            let s = &mut self.scores[self.test_idx];
+            *s += 1;
+            if *s > self.best_score {
+                if self.best_idx != self.test_idx {
+                    self.second_score = self.best_score;
+                    self.second_idx = self.best_idx;
+                }
+                self.best_score = *s;
+                self.best_idx = self.test_idx;
+            } else if self.test_idx != self.best_idx && *s > self.second_score {
+                self.second_score = *s;
+                self.second_idx = self.test_idx;
+            }
+            if *s >= self.cfg.score_max {
+                self.saturated = true;
+            }
+        }
+        self.test_idx += 1;
+        if self.test_idx == self.cfg.offsets.len() {
+            // End of a round.
+            self.test_idx = 0;
+            self.rounds += 1;
+            if self.saturated || self.rounds >= self.cfg.round_max {
+                self.end_phase();
+            }
+        }
+    }
+
+    /// Ends the learning phase: adopt the best offset, decide throttling,
+    /// reset all scores (§4.1, §4.3).
+    fn end_phase(&mut self) {
+        self.stats.phases += 1;
+        self.offset = self.cfg.offsets.get(self.best_idx);
+        self.second_offset = if self.second_score > self.cfg.bad_score {
+            self.cfg.offsets.get(self.second_idx)
+        } else {
+            self.offset
+        };
+        self.prefetch_on = self.best_score > self.cfg.bad_score;
+        if !self.prefetch_on {
+            self.stats.phases_off += 1;
+        }
+        self.scores.fill(0);
+        self.best_idx = 0;
+        self.best_score = 0;
+        self.second_idx = 0;
+        self.second_score = 0;
+        self.rounds = 0;
+        self.test_idx = 0;
+        self.saturated = false;
+    }
+}
+
+impl L2Prefetcher for BestOffsetPrefetcher {
+    fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>) {
+        if !access.outcome.is_eligible() {
+            return;
+        }
+        debug_assert!(matches!(
+            access.outcome,
+            AccessOutcome::Miss | AccessOutcome::PrefetchedHit
+        ));
+        self.stats.eligible_accesses += 1;
+        let x = access.line;
+        // Issue the prefetch for X + D first (the learning step below may
+        // swap phases; hardware does both in the same cycle).
+        if self.prefetch_on {
+            if let Some(target) = x.checked_offset(self.offset, self.page) {
+                out.push(target);
+                self.stats.issued += 1;
+            }
+            // Degree-2 extension (§4.3): also prefetch with the
+            // second-best offset of the last learning phase.
+            if self.cfg.degree >= 2 && self.second_offset != self.offset {
+                if let Some(target) = x.checked_offset(self.second_offset, self.page) {
+                    if !out.contains(&target) {
+                        out.push(target);
+                        self.stats.issued += 1;
+                    }
+                }
+            }
+        }
+        self.learn(x);
+    }
+
+    fn on_fill(&mut self, line: LineAddr, prefetched: bool) {
+        if self.prefetch_on {
+            // Base address of the completed prefetch: Y - D, written only
+            // for lines still marked prefetched, and only when Y and Y-D
+            // lie in the same page (§4.1 fn. 2).
+            if prefetched {
+                if let Some(base) = line.checked_offset(-self.offset, self.page) {
+                    self.rr.insert(base);
+                }
+            }
+        } else {
+            // Prefetch off: every fetched line is its own base (D = 0).
+            self.rr.insert(line);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BO"
+    }
+
+    fn page_size(&self) -> PageSize {
+        self.page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bo() -> BestOffsetPrefetcher {
+        BestOffsetPrefetcher::with_defaults(PageSize::M4)
+    }
+
+    fn access(p: &mut BestOffsetPrefetcher, line: u64) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        p.on_access(
+            L2Access {
+                line: LineAddr(line),
+                outcome: AccessOutcome::Miss,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn initial_state_prefetches_with_first_offset() {
+        let mut p = bo();
+        assert!(p.is_prefetching());
+        assert_eq!(p.current_offset(), 1);
+        let out = access(&mut p, 100);
+        assert_eq!(out, vec![LineAddr(101)]);
+    }
+
+    #[test]
+    fn plain_hits_are_ignored() {
+        let mut p = bo();
+        let mut out = Vec::new();
+        p.on_access(
+            L2Access {
+                line: LineAddr(7),
+                outcome: AccessOutcome::Hit,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.stats().eligible_accesses, 0);
+    }
+
+    #[test]
+    fn no_prefetch_across_page_boundary() {
+        let mut p = BestOffsetPrefetcher::with_defaults(PageSize::K4);
+        // Last line of a 4KB page: offset 1 would cross.
+        let out = access(&mut p, 63);
+        assert!(out.is_empty(), "must not cross the page");
+        assert_eq!(p.stats().issued, 0);
+    }
+
+    /// Drive a pure sequential stream through the prefetcher with fills
+    /// completing "in time"; BO should converge to a positive offset and
+    /// keep prefetching.
+    #[test]
+    fn sequential_stream_learns_an_offset() {
+        let mut p = bo();
+        let mut line = 1_000u64;
+        for _ in 0..40_000 {
+            let reqs = access(&mut p, line);
+            // Simulate timely completion: requested prefetches fill the
+            // L2 (still flagged as prefetches) before the stream reaches
+            // them.
+            for r in reqs {
+                p.on_fill(r, true);
+            }
+            line += 1;
+        }
+        assert!(p.is_prefetching());
+        assert!(p.stats().phases > 0, "at least one phase completed");
+        assert!(p.current_offset() >= 1);
+    }
+
+    /// With a strided stream of period 3 lines (stride pattern from §3.2)
+    /// and timely fills, the learned offset must be a multiple of 3.
+    #[test]
+    fn strided_stream_learns_multiple_of_period() {
+        let mut p = bo();
+        let mut line = 10_000u64;
+        for _ in 0..60_000 {
+            let reqs = access(&mut p, line);
+            for r in reqs {
+                p.on_fill(r, true);
+            }
+            line += 3;
+        }
+        assert!(p.stats().phases > 0);
+        assert_eq!(
+            p.current_offset() % 3,
+            0,
+            "offset {} not a multiple of the stride period",
+            p.current_offset()
+        );
+        assert!(p.is_prefetching());
+    }
+
+    /// Random accesses never hit the RR table: scores stay ≤ BADSCORE and
+    /// prefetch turns off at the end of the phase — and stays off while
+    /// learning continues (§4.3).
+    #[test]
+    fn random_traffic_turns_prefetch_off() {
+        let mut p = bo();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let total_steps = 52 * 101; // > ROUNDMAX rounds
+        for _ in 0..total_steps {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let line = x >> 20; // scattered lines
+            let reqs = access(&mut p, line);
+            for r in reqs {
+                p.on_fill(r, true);
+            }
+        }
+        assert!(p.stats().phases > 0);
+        assert!(!p.is_prefetching(), "random traffic must throttle off");
+        // Issue nothing when off.
+        let out = access(&mut p, 42);
+        assert!(out.is_empty());
+    }
+
+    /// After being throttled off, a returning sequential phase turns
+    /// prefetch back on (learning continues with D = 0 insertions).
+    #[test]
+    fn prefetch_turns_back_on_after_pattern_returns() {
+        let mut p = bo();
+        // Phase 1: random traffic -> off.
+        let mut x = 12345u64;
+        for _ in 0..52 * 101 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let reqs = access(&mut p, x >> 22);
+            for r in reqs {
+                p.on_fill(r, true);
+            }
+        }
+        assert!(!p.is_prefetching());
+        // Phase 2: sequential stream; fills feed the RR table with D=0.
+        let mut line = 500_000u64;
+        for _ in 0..52 * 40 {
+            let reqs = access(&mut p, line);
+            for r in reqs {
+                p.on_fill(r, true);
+            }
+            // While prefetch is off nothing is issued; the demand fill
+            // itself reaches the L2:
+            p.on_fill(LineAddr(line), false);
+            line += 1;
+        }
+        assert!(p.is_prefetching(), "prefetch must re-enable");
+    }
+
+    /// SCOREMAX saturation ends the phase early (at the end of the
+    /// round), well before ROUNDMAX rounds.
+    #[test]
+    fn scoremax_ends_phase_early() {
+        let mut p = bo();
+        let mut line = 77u64;
+        let mut accesses = 0u64;
+        while p.stats().phases == 0 {
+            let reqs = access(&mut p, line);
+            for r in reqs {
+                p.on_fill(r, true);
+            }
+            line += 1;
+            accesses += 1;
+            assert!(accesses < 52 * 50, "phase should end via SCOREMAX");
+        }
+        // SCOREMAX=31 with offset 1 scoring every round: ~31-32 rounds.
+        assert!(accesses <= 52 * 35);
+    }
+
+    #[test]
+    fn fill_when_off_inserts_base_with_d0() {
+        let mut cfg = BoConfig::default();
+        cfg.round_max = 1; // single-round phases for fast control
+        let mut p = BestOffsetPrefetcher::new(cfg, PageSize::M4);
+        // Burn one full round with non-matching accesses: phase ends with
+        // best score 0 -> off.
+        for i in 0..52 {
+            access(&mut p, 1_000_000 + i * 1_000);
+        }
+        assert!(!p.is_prefetching());
+        // Now a fill of line Z inserts Z itself: testing offset d against
+        // access Z+d must hit.
+        p.on_fill(LineAddr(5_000), false);
+        // First tested offset in the new phase is offsets[0] = 1.
+        access(&mut p, 5_001);
+        assert_eq!(p.scores()[0], 1, "D=0 insertion must let X-1 hit");
+    }
+
+    #[test]
+    fn degree_2_issues_two_distinct_offsets() {
+        let mut cfg = BoConfig::default();
+        cfg.degree = 2;
+        let mut p = BestOffsetPrefetcher::new(cfg, PageSize::M4);
+        // Period-2 stream: multiples of 2 all score; best and runner-up
+        // are distinct even offsets.
+        let mut line = 500u64;
+        for _ in 0..52 * 200 {
+            let reqs = access(&mut p, line);
+            for r in reqs {
+                p.on_fill(r, true);
+            }
+            line += 2;
+        }
+        assert!(p.stats().phases > 0);
+        if p.second_offset() != p.current_offset() {
+            let reqs = access(&mut p, line);
+            assert_eq!(reqs.len(), 2, "degree-2 must issue two prefetches");
+            assert_ne!(reqs[0], reqs[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn degree_3_is_rejected() {
+        let mut cfg = BoConfig::default();
+        cfg.degree = 3;
+        let _ = BestOffsetPrefetcher::new(cfg, PageSize::M4);
+    }
+
+    #[test]
+    fn default_config_matches_table2() {
+        let c = BoConfig::default();
+        assert_eq!(c.rr_entries, 256);
+        assert_eq!(c.rr_tag_bits, 12);
+        assert_eq!(c.score_max, 31);
+        assert_eq!(c.round_max, 100);
+        assert_eq!(c.bad_score, 1);
+        assert_eq!(c.degree, 1, "the paper's BO is a degree-one prefetcher");
+        assert_eq!(c.offsets.len(), 52);
+    }
+}

@@ -1,0 +1,114 @@
+//! The L2 prefetcher interface shared by BO and all baselines.
+//!
+//! L2 prefetchers in the paper (§5.6) "ignore load/store PCs and work on
+//! physical line addresses", observe L2 read accesses from the core side
+//! (L1 misses *and* L1 prefetches), and trigger on misses and prefetched
+//! hits. Prefetch addresses never cross page boundaries.
+
+use bosim_types::{LineAddr, PageSize};
+
+/// Outcome of an L2 read access, as seen by the prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line missed in the L2.
+    Miss,
+    /// The line hit and its prefetch bit was set ("prefetched hit"):
+    /// treated like a miss by the prefetchers (§5.6).
+    PrefetchedHit,
+    /// An ordinary hit (prefetch bit clear): prefetchers ignore it.
+    Hit,
+}
+
+impl AccessOutcome {
+    /// Misses and prefetched hits are the "eligible" accesses that drive
+    /// both prefetch issue and best-offset learning (§4.1).
+    #[inline]
+    pub fn is_eligible(self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// One L2 read access presented to the prefetcher.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Access {
+    /// Physical line address of the access.
+    pub line: LineAddr,
+    /// Hit/miss/prefetched-hit outcome.
+    pub outcome: AccessOutcome,
+}
+
+/// An L2 prefetcher.
+///
+/// Implementations push prefetch *candidates* (already page-bounded) into
+/// the caller's buffer; the surrounding simulator applies queueing,
+/// deduplication against in-flight requests, and the mandatory tag checks.
+pub trait L2Prefetcher: std::fmt::Debug {
+    /// Observes an L2 read access from the core side (demand miss path or
+    /// L1 prefetch) and appends prefetch requests to `out`.
+    fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>);
+
+    /// Observes a line being inserted into the L2. `prefetched` is true
+    /// when the line still carries its prefetch class (it was not
+    /// promoted to a demand miss in the meantime).
+    fn on_fill(&mut self, line: LineAddr, prefetched: bool);
+
+    /// Short name for reports ("BO", "SBP", "next-line", ...).
+    fn name(&self) -> &'static str;
+
+    /// The page size this prefetcher was configured for.
+    fn page_size(&self) -> PageSize;
+}
+
+/// The "no L2 prefetch" configuration (Figure 5 baseline).
+#[derive(Debug, Clone)]
+pub struct NullPrefetcher {
+    page: PageSize,
+}
+
+impl NullPrefetcher {
+    /// Creates a disabled prefetcher.
+    pub fn new(page: PageSize) -> Self {
+        NullPrefetcher { page }
+    }
+}
+
+impl L2Prefetcher for NullPrefetcher {
+    fn on_access(&mut self, _access: L2Access, _out: &mut Vec<LineAddr>) {}
+
+    fn on_fill(&mut self, _line: LineAddr, _prefetched: bool) {}
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn page_size(&self) -> PageSize {
+        self.page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eligibility() {
+        assert!(AccessOutcome::Miss.is_eligible());
+        assert!(AccessOutcome::PrefetchedHit.is_eligible());
+        assert!(!AccessOutcome::Hit.is_eligible());
+    }
+
+    #[test]
+    fn null_prefetcher_never_prefetches() {
+        let mut p = NullPrefetcher::new(PageSize::K4);
+        let mut out = Vec::new();
+        p.on_access(
+            L2Access {
+                line: LineAddr(42),
+                outcome: AccessOutcome::Miss,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.name(), "none");
+    }
+}

@@ -1,0 +1,25 @@
+//! Core-side models for `bosim`: the out-of-order core, branch
+//! predictors and TLBs.
+//!
+//! * [`Core`] — trace-driven cycle-approximate out-of-order core with the
+//!   Table 1 parameters (256-entry ROB, 8-wide decode, 12-wide retire,
+//!   2 load ports, 32 DL1 MSHRs, 12-cycle minimum redirect penalty),
+//!   private 32KB IL1/DL1 and the DL1 stride prefetcher (§5.5),
+//! * [`Tage`] / [`Ittage`] — the branch predictors of Table 1,
+//! * [`TlbHierarchy`] / [`PageTranslator`] — two-level TLBs and the
+//!   randomising virtual-to-physical hash of §5.1.
+//!
+//! The core talks to the uncore (private L2, shared L3, DRAM — assembled
+//! in the `bosim` crate) through [`UncoreRequest`] values and
+//! [`Core::fill`] callbacks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core;
+mod tage;
+mod tlb;
+
+pub use crate::core::{Core, CoreConfig, CoreStats, UncoreRequest};
+pub use tage::{Ittage, Tage, TageConfig};
+pub use tlb::{PageTranslator, Tlb, TlbHierarchy, PHYS_BITS};

@@ -1,0 +1,683 @@
+//! Dual-channel memory controllers (§5.3).
+//!
+//! "Each channel has its own memory controller. The two controllers work
+//! independently from each other. For fairness, each core has its own
+//! read queue and write queue in each controller. ... For read requests,
+//! an FR-FCFS policy is used. A row is left open after it has been
+//! accessed until a subsequent access requires to close it."
+//!
+//! The scheduler has a *steady* mode (serve one core at a time, switch
+//! when its row locality is exhausted or a write queue fills; writes go in
+//! batches of 16, selected out-of-order for row locality) and an *urgent*
+//! mode (serve the lagging core when its fairness counter falls more than
+//! 31 behind the served core's). "The scheduler does not distinguish
+//! between demand and prefetch read requests."
+
+use crate::mapping::{map_line, DramLoc};
+use crate::timing::{Bank, BankNeed, DdrTimings};
+use bosim_types::{CoreId, Cycle, LineAddr, ProportionalCounters, CORE_CYCLES_PER_BUS_CYCLE};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Memory system configuration (Table 1 defaults via [`Default`]).
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// DDR3 timing parameters.
+    pub timings: DdrTimings,
+    /// Number of cores (per-core queues and fairness counters).
+    pub num_cores: usize,
+    /// Channels (Table 1: 2).
+    pub channels: usize,
+    /// Banks per channel (Table 1: 8 banks/chip, one rank).
+    pub banks: usize,
+    /// Read-queue capacity per core per channel (Table 1: 32).
+    pub read_queue_cap: usize,
+    /// Write-queue capacity per core per channel (Table 1: 32).
+    pub write_queue_cap: usize,
+    /// Write batch size (§5.3: 16).
+    pub write_batch: usize,
+    /// Urgent-mode counter difference threshold (§5.3: 31).
+    pub urgent_threshold: i64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            timings: DdrTimings::default(),
+            num_cores: 4,
+            channels: 2,
+            banks: 8,
+            read_queue_cap: 32,
+            write_queue_cap: 32,
+            write_batch: 16,
+            urgent_threshold: 31,
+        }
+    }
+}
+
+/// A completed read returned by [`MemorySystem::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCompletion {
+    /// Caller-supplied request token.
+    pub id: u64,
+    /// The line read.
+    pub line: LineAddr,
+    /// Requesting core.
+    pub core: CoreId,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read CAS commands issued.
+    pub reads: u64,
+    /// Write CAS commands issued.
+    pub writes: u64,
+    /// CAS commands that hit an open row.
+    pub row_hits: u64,
+    /// Activates issued.
+    pub row_opens: u64,
+    /// Precharges issued due to row conflicts.
+    pub row_conflicts: u64,
+    /// Reads issued in urgent mode.
+    pub urgent_reads: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ReadReq {
+    id: u64,
+    line: LineAddr,
+    loc: DramLoc,
+    arrival: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct WriteReq {
+    loc: DramLoc,
+}
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    read_q: Vec<VecDeque<ReadReq>>,
+    write_q: Vec<VecDeque<WriteReq>>,
+    counters: ProportionalCounters,
+    served: usize,
+    writes_left: usize,
+    /// Data bus is busy until this cycle.
+    bus_free_at: Cycle,
+    /// tWTR: no read CAS until this cycle.
+    read_ok_at: Cycle,
+    completions: BinaryHeap<Reverse<(Cycle, u64, u64, u8)>>, // (time, id, line, core)
+    stats: DramStats,
+}
+
+impl Channel {
+    fn new(cfg: &MemConfig) -> Self {
+        Channel {
+            banks: vec![Bank::default(); cfg.banks],
+            read_q: vec![VecDeque::new(); cfg.num_cores],
+            write_q: vec![VecDeque::new(); cfg.num_cores],
+            counters: ProportionalCounters::new(cfg.num_cores, 7),
+            served: 0,
+            writes_left: 0,
+            bus_free_at: 0,
+            read_ok_at: 0,
+            completions: BinaryHeap::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    fn pending_reads(&self) -> usize {
+        self.read_q.iter().map(|q| q.len()).sum()
+    }
+
+    fn pending_writes(&self) -> usize {
+        self.write_q.iter().map(|q| q.len()).sum()
+    }
+
+    /// Issues a read CAS for queue position `pos` of core `c`.
+    fn issue_read_cas(&mut self, t: &DdrTimings, now: Cycle, c: usize, pos: usize, urgent: bool) {
+        let req = self.read_q[c].remove(pos).expect("position valid");
+        let data_end = self.banks[req.loc.bank as usize].read(now, t);
+        self.bus_free_at = data_end;
+        self.completions
+            .push(Reverse((data_end, req.id, req.line.0, c as u8)));
+        self.counters.increment(c);
+        self.stats.reads += 1;
+        self.stats.row_hits += 1;
+        if urgent {
+            self.stats.urgent_reads += 1;
+        }
+    }
+
+    /// Can a read CAS for `loc` issue right now?
+    fn read_cas_ready(&self, t: &DdrTimings, now: Cycle, loc: DramLoc) -> bool {
+        let b = &self.banks[loc.bank as usize];
+        b.need(loc.row) == BankNeed::Cas
+            && b.cas_ok_at <= now
+            && now >= self.read_ok_at
+            && now + t.core(t.t_cl) >= self.bus_free_at
+    }
+
+    /// Can a write CAS for `loc` issue right now?
+    fn write_cas_ready(&self, t: &DdrTimings, now: Cycle, loc: DramLoc) -> bool {
+        let b = &self.banks[loc.bank as usize];
+        b.need(loc.row) == BankNeed::Cas
+            && b.cas_ok_at <= now
+            && now + t.core(t.t_cwl) >= self.bus_free_at
+    }
+
+    /// Issues the preparatory command (PRE or ACT) a request needs, if
+    /// its bank timing allows. Returns true if a command was issued.
+    fn issue_prep(&mut self, t: &DdrTimings, now: Cycle, loc: DramLoc) -> bool {
+        let b = &mut self.banks[loc.bank as usize];
+        match b.need(loc.row) {
+            BankNeed::Cas => false,
+            BankNeed::Precharge => {
+                if b.pre_ok_at <= now {
+                    b.precharge(now, t);
+                    self.stats.row_conflicts += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BankNeed::Activate => {
+                if b.act_ok_at <= now {
+                    b.activate(now, loc.row, t);
+                    self.stats.row_opens += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Picks the served core: lowest fairness counter among cores with
+    /// pending reads; falls back to the current one.
+    fn pick_served(&self) -> usize {
+        let mut best: Option<usize> = None;
+        for c in 0..self.read_q.len() {
+            if self.read_q[c].is_empty() {
+                continue;
+            }
+            best = Some(match best {
+                None => c,
+                Some(b) if self.counters.get(c) < self.counters.get(b) => c,
+                Some(b) => b,
+            });
+        }
+        best.unwrap_or(self.served)
+    }
+
+    /// One scheduling step (at most one command), on bus-cycle boundaries.
+    fn step(&mut self, cfg: &MemConfig, now: Cycle, l3_can_accept: bool) {
+        let t = &cfg.timings;
+
+        // ---- Urgent mode (§5.3): pre-empts the steady mode. ----
+        if l3_can_accept {
+            let lagging = self.pick_served();
+            if !self.read_q[lagging].is_empty()
+                && self.counters.diff(self.served, lagging) > cfg.urgent_threshold
+            {
+                // Serve the lagging core's most ready request.
+                if let Some(pos) = (0..self.read_q[lagging].len())
+                    .find(|&p| self.read_cas_ready(t, now, self.read_q[lagging][p].loc))
+                {
+                    self.issue_read_cas(t, now, lagging, pos, true);
+                    return;
+                }
+                let loc = self.read_q[lagging][0].loc;
+                if self.issue_prep(t, now, loc) {
+                    return;
+                }
+            }
+        }
+
+        // ---- Write batches. ----
+        if self.writes_left == 0 {
+            let any_full = self
+                .write_q
+                .iter()
+                .any(|q| q.len() >= cfg.write_queue_cap - 1);
+            let no_reads = self.pending_reads() == 0;
+            if (any_full || (no_reads && self.pending_writes() >= cfg.write_batch))
+                && self.pending_writes() > 0
+            {
+                self.writes_left = cfg.write_batch;
+            }
+        }
+        if self.writes_left > 0 {
+            // Select writes out-of-order across all queues, preferring
+            // row hits, then any whose bank can progress.
+            for c in 0..self.write_q.len() {
+                if let Some(pos) = (0..self.write_q[c].len())
+                    .find(|&p| self.write_cas_ready(t, now, self.write_q[c][p].loc))
+                {
+                    let req = self.write_q[c].remove(pos).expect("valid");
+                    let data_end = self.banks[req.loc.bank as usize].write(now, t);
+                    self.bus_free_at = data_end;
+                    self.read_ok_at = data_end + t.core(t.t_wtr);
+                    self.stats.writes += 1;
+                    self.stats.row_hits += 1;
+                    self.writes_left -= 1;
+                    if self.pending_writes() == 0 {
+                        self.writes_left = 0;
+                    }
+                    return;
+                }
+            }
+            for c in 0..self.write_q.len() {
+                if let Some(req) = self.write_q[c].front() {
+                    let loc = req.loc;
+                    if self.issue_prep(t, now, loc) {
+                        return;
+                    }
+                }
+            }
+            // Nothing can progress this cycle.
+            if self.pending_writes() == 0 {
+                self.writes_left = 0;
+            }
+            return;
+        }
+
+        // ---- Steady-mode reads: FR-FCFS for the served core. ----
+        // Change the served core only when it has no row-hit-ready read
+        // (or it has no reads at all).
+        let served_has_row_hit = self.read_q[self.served]
+            .iter()
+            .any(|r| self.read_cas_ready(t, now, r.loc));
+        if !served_has_row_hit {
+            self.served = self.pick_served();
+        }
+        let c = self.served;
+        if self.read_q[c].is_empty() {
+            return;
+        }
+        // First ready row-hit, else FCFS order for preparation.
+        if let Some(pos) =
+            (0..self.read_q[c].len()).find(|&p| self.read_cas_ready(t, now, self.read_q[c][p].loc))
+        {
+            self.issue_read_cas(t, now, c, pos, false);
+            return;
+        }
+        let loc = self.read_q[c][0].loc;
+        if self.issue_prep(t, now, loc) {
+            return;
+        }
+        // Oldest is timing-blocked; try younger requests' banks.
+        for p in 1..self.read_q[c].len() {
+            let loc = self.read_q[c][p].loc;
+            if self.issue_prep(t, now, loc) {
+                return;
+            }
+        }
+    }
+}
+
+/// The two-channel main memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    channels: Vec<Channel>,
+}
+
+impl MemorySystem {
+    /// Creates a memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero cores, channels or banks.
+    pub fn new(cfg: MemConfig) -> Self {
+        assert!(cfg.num_cores >= 1 && cfg.channels >= 1 && cfg.banks >= 1);
+        assert!(cfg.write_batch >= 1);
+        let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
+        MemorySystem { cfg, channels }
+    }
+
+    fn channel_of(&self, line: LineAddr) -> usize {
+        (map_line(line).channel as usize) % self.channels.len()
+    }
+
+    /// True when the core's read queue in the line's channel can accept a
+    /// request.
+    pub fn can_accept_read(&self, line: LineAddr, core: CoreId) -> bool {
+        let ch = self.channel_of(line);
+        self.channels[ch].read_q[core.index()].len() < self.cfg.read_queue_cap
+    }
+
+    /// True when the core's write queue in the line's channel can accept.
+    pub fn can_accept_write(&self, line: LineAddr, core: CoreId) -> bool {
+        let ch = self.channel_of(line);
+        self.channels[ch].write_q[core.index()].len() < self.cfg.write_queue_cap
+    }
+
+    /// Is a read for this line already pending (CAM search, §6.3 fn. 13)?
+    pub fn has_pending_read(&self, line: LineAddr) -> bool {
+        let ch = self.channel_of(line);
+        self.channels[ch]
+            .read_q
+            .iter()
+            .any(|q| q.iter().any(|r| r.line == line))
+    }
+
+    /// Enqueues a read; returns false when the queue is full.
+    pub fn enqueue_read(&mut self, line: LineAddr, core: CoreId, id: u64, now: Cycle) -> bool {
+        let ch = self.channel_of(line);
+        let q = &mut self.channels[ch].read_q[core.index()];
+        if q.len() >= self.cfg.read_queue_cap {
+            return false;
+        }
+        q.push_back(ReadReq {
+            id,
+            line,
+            loc: map_line(line),
+            arrival: now,
+        });
+        true
+    }
+
+    /// Enqueues a writeback; returns false when the queue is full.
+    pub fn enqueue_write(&mut self, line: LineAddr, core: CoreId, _now: Cycle) -> bool {
+        let ch = self.channel_of(line);
+        let q = &mut self.channels[ch].write_q[core.index()];
+        if q.len() >= self.cfg.write_queue_cap {
+            return false;
+        }
+        q.push_back(WriteReq {
+            loc: map_line(line),
+        });
+        true
+    }
+
+    /// Advances the memory system to `now`, collecting read completions.
+    ///
+    /// Command scheduling happens on bus-cycle boundaries (every 4 core
+    /// cycles); `l3_can_accept` gates the urgent mode as in §5.3.
+    pub fn tick(&mut self, now: Cycle, l3_can_accept: bool, out: &mut Vec<ReadCompletion>) {
+        for ch in &mut self.channels {
+            while let Some(&Reverse((t, id, line, core))) = ch.completions.peek() {
+                if t > now {
+                    break;
+                }
+                ch.completions.pop();
+                out.push(ReadCompletion {
+                    id,
+                    line: LineAddr(line),
+                    core: CoreId(core),
+                });
+            }
+            if now % CORE_CYCLES_PER_BUS_CYCLE == 0 {
+                ch.step(&self.cfg, now, l3_can_accept);
+            }
+        }
+    }
+
+    /// Aggregated statistics over all channels.
+    pub fn stats(&self) -> DramStats {
+        let mut s = DramStats::default();
+        for ch in &self.channels {
+            s.reads += ch.stats.reads;
+            s.writes += ch.stats.writes;
+            s.row_hits += ch.stats.row_hits;
+            s.row_opens += ch.stats.row_opens;
+            s.row_conflicts += ch.stats.row_conflicts;
+            s.urgent_reads += ch.stats.urgent_reads;
+        }
+        s
+    }
+
+    /// Oldest pending read arrival (diagnostics; `None` when idle).
+    pub fn oldest_pending_read(&self) -> Option<Cycle> {
+        self.channels
+            .iter()
+            .flat_map(|ch| ch.read_q.iter())
+            .flat_map(|q| q.iter())
+            .map(|r| r.arrival)
+            .min()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_complete(
+        mem: &mut MemorySystem,
+        start: Cycle,
+        max_cycles: Cycle,
+    ) -> Vec<(Cycle, ReadCompletion)> {
+        let mut done = Vec::new();
+        let mut out = Vec::new();
+        for now in start..start + max_cycles {
+            out.clear();
+            mem.tick(now, true, &mut out);
+            for c in &out {
+                done.push((now, *c));
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_idle_latency() {
+        let mut cfg = MemConfig::default();
+        cfg.num_cores = 1;
+        let mut mem = MemorySystem::new(cfg);
+        assert!(mem.enqueue_read(LineAddr(0x1000), CoreId(0), 7, 0));
+        let done = run_until_complete(&mut mem, 0, 1000);
+        assert_eq!(done.len(), 1);
+        let (t, c) = done[0];
+        assert_eq!(c.id, 7);
+        assert_eq!(c.line, LineAddr(0x1000));
+        // ACT at 0 (first bus cycle), CAS at +tRCD, data end +tCL+tBURST:
+        // (11 + 11 + 4) * 4 = 104 core cycles minimum.
+        assert!(t >= 104, "completed too early: {t}");
+        assert!(t <= 250, "completed too late: {t}");
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        let mut cfg = MemConfig::default();
+        cfg.num_cores = 1;
+        let mut mem = MemorySystem::new(cfg);
+        // Two lines in the same row (consecutive lines share a row).
+        assert!(mem.enqueue_read(LineAddr(0x1000), CoreId(0), 1, 0));
+        assert!(mem.enqueue_read(LineAddr(0x1001), CoreId(0), 2, 0));
+        let done = run_until_complete(&mut mem, 0, 2000);
+        assert_eq!(done.len(), 2);
+        let gap_same_row = done[1].0 - done[0].0;
+
+        let mut mem2 = MemorySystem::new(MemConfig {
+            num_cores: 1,
+            ..Default::default()
+        });
+        // Same bank, different row: 2^11 lines apart keeps bank bits but
+        // changes the row.
+        let a = LineAddr(0x1000);
+        let b = LineAddr(0x1000 + (1 << 11) * 17);
+        let same_bank = map_line(a).bank == map_line(b).bank
+            && map_line(a).channel == map_line(b).channel;
+        if same_bank {
+            assert!(mem2.enqueue_read(a, CoreId(0), 1, 0));
+            assert!(mem2.enqueue_read(b, CoreId(0), 2, 0));
+            let done2 = run_until_complete(&mut mem2, 0, 4000);
+            assert_eq!(done2.len(), 2);
+            let gap_conflict = done2[1].0 - done2[0].0;
+            assert!(
+                gap_conflict > gap_same_row,
+                "row conflict ({gap_conflict}) should cost more than row hit ({gap_same_row})"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut cfg = MemConfig::default();
+        cfg.num_cores = 1;
+        cfg.read_queue_cap = 4;
+        let mut mem = MemorySystem::new(cfg);
+        // All to one channel: find 5 lines mapping to channel 0.
+        let mut enq = 0;
+        let mut line = 0u64;
+        let mut rejected = false;
+        while enq < 6 {
+            let l = LineAddr(line);
+            if map_line(l).channel == 0 {
+                if mem.enqueue_read(l, CoreId(0), enq, 0) {
+                    enq += 1;
+                } else {
+                    rejected = true;
+                    break;
+                }
+            }
+            line += 1;
+        }
+        assert!(rejected, "5th request must be rejected");
+    }
+
+    #[test]
+    fn writes_drain_in_batches() {
+        let mut cfg = MemConfig::default();
+        cfg.num_cores = 1;
+        let mut mem = MemorySystem::new(cfg);
+        for i in 0..40 {
+            // Spread lines across channels; writes eventually drain.
+            mem.enqueue_write(LineAddr(i * 128), CoreId(0), 0);
+        }
+        let mut out = Vec::new();
+        for now in 0..20_000 {
+            mem.tick(now, true, &mut out);
+        }
+        let s = mem.stats();
+        assert!(s.writes > 0, "writes must be issued");
+    }
+
+    #[test]
+    fn bandwidth_is_shared_between_cores() {
+        let mut cfg = MemConfig::default();
+        cfg.num_cores = 2;
+        let mut mem = MemorySystem::new(cfg);
+        let mut id = 0u64;
+        let mut out = Vec::new();
+        let mut completions = [0u64; 2];
+        // Keep both cores' queues loaded with streaming reads.
+        let mut next_line = [0u64, 1u64 << 24];
+        for now in 0..60_000u64 {
+            for c in 0..2 {
+                while mem.enqueue_read(LineAddr(next_line[c]), CoreId(c as u8), id, now) {
+                    id += 1;
+                    next_line[c] += 1;
+                }
+            }
+            out.clear();
+            mem.tick(now, true, &mut out);
+            for comp in &out {
+                completions[comp.core.index()] += 1;
+            }
+        }
+        assert!(completions[0] > 100 && completions[1] > 100);
+        let ratio = completions[0] as f64 / completions[1] as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "fairness: {completions:?} ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn pending_read_cam_search() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        assert!(!mem.has_pending_read(LineAddr(0x55)));
+        mem.enqueue_read(LineAddr(0x55), CoreId(0), 1, 0);
+        assert!(mem.has_pending_read(LineAddr(0x55)));
+    }
+
+    #[test]
+    fn streaming_throughput_is_bandwidth_bound() {
+        // A long unit-stride stream should sustain roughly one line per
+        // tBURST per channel: check throughput is in a sane range.
+        let mut cfg = MemConfig::default();
+        cfg.num_cores = 1;
+        let mut mem = MemorySystem::new(cfg);
+        let mut id = 0u64;
+        let mut line = 0u64;
+        let mut out = Vec::new();
+        let mut completed = 0u64;
+        let horizon = 100_000u64;
+        for now in 0..horizon {
+            while mem.enqueue_read(LineAddr(line), CoreId(0), id, now) {
+                id += 1;
+                line += 1;
+            }
+            out.clear();
+            mem.tick(now, true, &mut out);
+            completed += out.len() as u64;
+        }
+        // Two channels, tBURST = 16 core cycles: theoretical peak is one
+        // line per 8 cycles; expect at least 20% of peak for streaming.
+        let peak = horizon / 8;
+        assert!(
+            completed > peak / 5,
+            "completed {completed} of peak {peak}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Under arbitrary interleavings of reads and writebacks from up
+        /// to four cores, every accepted read completes exactly once, no
+        /// timing debug-assertion fires (tRCD/tRAS/tRP/tWR are encoded as
+        /// `debug_assert`s in the bank state machine), and the system
+        /// drains completely.
+        #[test]
+        fn prop_all_reads_complete_exactly_once(
+            ops in proptest::collection::vec((0u64..1 << 22, 0u8..4, proptest::bool::ANY), 1..120)
+        ) {
+            let mut mem = MemorySystem::new(MemConfig::default());
+            let mut expected = std::collections::HashMap::new();
+            let mut out = Vec::new();
+            let mut now = 0u64;
+            let mut id = 0u64;
+            for (line, core, is_write) in ops {
+                let l = LineAddr(line);
+                let c = CoreId(core);
+                if is_write {
+                    let _ = mem.enqueue_write(l, c, now);
+                } else if !mem.has_pending_read(l) && mem.enqueue_read(l, c, id, now) {
+                    expected.insert(id, l);
+                    id += 1;
+                }
+                // Advance a few cycles between arrivals.
+                for _ in 0..3 {
+                    mem.tick(now, true, &mut out);
+                    now += 1;
+                }
+            }
+            // Drain.
+            let deadline = now + 500_000;
+            while !expected.is_empty() && now < deadline {
+                mem.tick(now, true, &mut out);
+                now += 1;
+                for c in out.drain(..) {
+                    let line = expected.remove(&c.id);
+                    prop_assert_eq!(line, Some(c.line), "completion mismatch");
+                }
+            }
+            prop_assert!(expected.is_empty(), "reads left pending: {:?}", expected);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Simulation configurations (Table 1 and §5 variants).
+
+use best_offset::BoConfig;
+use bosim_baselines::{AmpmConfig, SbpConfig};
+use bosim_cache::policy::PolicyKind;
+use bosim_cpu::CoreConfig;
+use bosim_types::PageSize;
+
+/// Which L2 prefetcher a run uses.
+#[derive(Debug, Clone)]
+pub enum L2PrefetcherKind {
+    /// No L2 prefetching (Figure 5's comparison point).
+    None,
+    /// Next-line prefetching — the paper's default baseline (§5.6).
+    NextLine,
+    /// A constant offset (Figures 7 and 8).
+    Fixed(i64),
+    /// The Best-Offset prefetcher (§4).
+    Bo(BoConfig),
+    /// The Sandbox prefetcher (§6.3).
+    Sbp(SbpConfig),
+    /// AMPM-lite (extension; the DPC-1 winner referenced in §2).
+    Ampm(AmpmConfig),
+}
+
+impl L2PrefetcherKind {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            L2PrefetcherKind::None => "no-prefetch".into(),
+            L2PrefetcherKind::NextLine => "next-line".into(),
+            L2PrefetcherKind::Fixed(d) => format!("offset-{d}"),
+            L2PrefetcherKind::Bo(_) => "BO".into(),
+            L2PrefetcherKind::Sbp(_) => "SBP".into(),
+            L2PrefetcherKind::Ampm(_) => "AMPM".into(),
+        }
+    }
+}
+
+/// One full-system simulation configuration.
+///
+/// `Default` is the paper's baseline (Table 1): 4KB pages, one active
+/// core, L2 next-line prefetching, 5P L3 replacement, DL1 stride
+/// prefetcher on.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Memory page size (4KB or 4MB).
+    pub page: PageSize,
+    /// Active cores: core 0 runs the benchmark, the rest run the §5.1
+    /// cache-thrashing micro-benchmark.
+    pub active_cores: usize,
+    /// The L2 prefetcher under evaluation.
+    pub l2_prefetcher: L2PrefetcherKind,
+    /// L3 replacement policy (baseline: 5P; Figure 3 uses LRU/DRRIP).
+    pub l3_policy: PolicyKind,
+    /// DL1 stride prefetcher enabled (Figure 4 disables it).
+    pub dl1_stride: bool,
+    /// Core parameters (Table 1).
+    pub core: CoreConfig,
+    /// L2 capacity in bytes (512KB) and associativity (8).
+    pub l2_size: u64,
+    /// L2 ways.
+    pub l2_ways: usize,
+    /// L2 lookup latency, cycles (11).
+    pub l2_latency: u64,
+    /// L2 fill queue entries (16).
+    pub l2_fill_queue: usize,
+    /// L2 prefetch queue entries (8).
+    pub prefetch_queue: usize,
+    /// L3 capacity in bytes (8MB) and associativity (16).
+    pub l3_size: u64,
+    /// L3 ways.
+    pub l3_ways: usize,
+    /// L3 lookup latency, cycles (21).
+    pub l3_latency: u64,
+    /// L3 fill queue entries (32).
+    pub l3_fill_queue: usize,
+    /// Warm-up instructions on core 0 before measurement.
+    pub warmup_instructions: u64,
+    /// Measured instructions on core 0.
+    pub measure_instructions: u64,
+    /// Master seed (translation hashes, policy randomisation).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            page: PageSize::K4,
+            active_cores: 1,
+            l2_prefetcher: L2PrefetcherKind::NextLine,
+            l3_policy: PolicyKind::FiveP,
+            dl1_stride: true,
+            core: CoreConfig::default(),
+            l2_size: 512 << 10,
+            l2_ways: 8,
+            l2_latency: 11,
+            l2_fill_queue: 16,
+            prefetch_queue: 8,
+            l3_size: 8 << 20,
+            l3_ways: 16,
+            l3_latency: 21,
+            l3_fill_queue: 32,
+            warmup_instructions: default_warmup(),
+            measure_instructions: default_instructions(),
+            seed: 0xB05EED,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Baseline for a page size and core count (the paper's six
+    /// baselines, §5).
+    pub fn baseline(page: PageSize, active_cores: usize) -> Self {
+        SimConfig {
+            page,
+            active_cores,
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with a different L2 prefetcher.
+    pub fn with_prefetcher(mut self, p: L2PrefetcherKind) -> Self {
+        self.l2_prefetcher = p;
+        self
+    }
+
+    /// Short configuration label, e.g. `"4KB/2-core/BO"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}-core/{}",
+            self.page.label(),
+            self.active_cores,
+            self.l2_prefetcher.label()
+        )
+    }
+}
+
+/// Default measured instructions (overridable via `BOSIM_INSTRUCTIONS`).
+///
+/// The paper simulates 1G instructions per benchmark; the default here is
+/// scaled down so the full figure set completes on a laptop. All harness
+/// binaries accept the environment override.
+pub fn default_instructions() -> u64 {
+    std::env::var("BOSIM_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Default warm-up instructions (overridable via `BOSIM_WARMUP`).
+pub fn default_warmup() -> u64 {
+    std::env::var("BOSIM_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_table1_baseline() {
+        let c = SimConfig::default();
+        assert_eq!(c.l2_size, 512 << 10);
+        assert_eq!(c.l2_ways, 8);
+        assert_eq!(c.l2_latency, 11);
+        assert_eq!(c.l2_fill_queue, 16);
+        assert_eq!(c.l3_size, 8 << 20);
+        assert_eq!(c.l3_ways, 16);
+        assert_eq!(c.l3_latency, 21);
+        assert_eq!(c.l3_fill_queue, 32);
+        assert_eq!(c.prefetch_queue, 8);
+        assert!(matches!(c.l2_prefetcher, L2PrefetcherKind::NextLine));
+        assert_eq!(c.l3_policy, PolicyKind::FiveP);
+        assert!(c.dl1_stride);
+    }
+
+    #[test]
+    fn labels() {
+        let c = SimConfig::baseline(PageSize::M4, 2)
+            .with_prefetcher(L2PrefetcherKind::Fixed(5));
+        assert_eq!(c.label(), "4MB/2-core/offset-5");
+    }
+}

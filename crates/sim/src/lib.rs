@@ -1,0 +1,35 @@
+//! # bosim — the evaluation platform of *Best-Offset Hardware Prefetching*
+//!
+//! A trace-driven, cycle-approximate multi-core simulator reproducing the
+//! baseline micro-architecture of Michaud's HPCA 2016 paper (§5, Table 1):
+//! out-of-order cores with TAGE/ITTAGE and two-level TLBs, private 512KB
+//! L2s with pluggable prefetchers, a shared 8MB L3 with the 5P
+//! replacement policy, MSHR-less fill queues with late-prefetch promotion
+//! (§5.4), and a dual-channel DDR3 memory system with FR-FCFS scheduling
+//! and fairness counters (§5.3).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use bosim::{SimConfig, L2PrefetcherKind, System};
+//! use bosim_trace::suite;
+//!
+//! let spec = suite::benchmark("462").expect("libquantum-like");
+//! let cfg = SimConfig::default()
+//!     .with_prefetcher(L2PrefetcherKind::Bo(Default::default()));
+//! let result = System::new(&cfg, &spec).run();
+//! println!("{}: IPC {:.3}", result.benchmark, result.ipc());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod runner;
+mod system;
+mod uncore;
+
+pub use config::{default_instructions, default_warmup, L2PrefetcherKind, SimConfig};
+pub use runner::{default_threads, run_job, run_jobs, speedups, Job};
+pub use system::{SimResult, System};
+pub use uncore::{Uncore, UncoreStats};

@@ -1,0 +1,121 @@
+//! Experiment runner: maps (benchmark × configuration) grids onto worker
+//! threads and computes paper-style speedup summaries.
+
+use crate::config::SimConfig;
+use crate::system::{SimResult, System};
+use bosim_trace::BenchmarkSpec;
+use std::sync::Mutex;
+
+/// One cell of an experiment grid.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The benchmark to run on core 0.
+    pub bench: BenchmarkSpec,
+    /// The machine configuration.
+    pub config: SimConfig,
+}
+
+/// Runs one job to completion.
+pub fn run_job(job: &Job) -> SimResult {
+    System::new(&job.config, &job.bench).run()
+}
+
+/// Runs all jobs, fanning out over `threads` workers (crossbeam scoped
+/// threads), preserving input order in the output.
+///
+/// # Panics
+///
+/// Panics if any job panics (simulation stall assertions propagate).
+pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<SimResult> {
+    let threads = threads.max(1);
+    let results: Vec<Mutex<Option<SimResult>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let res = run_job(&jobs[i]);
+                *results[i].lock().expect("poisoned") = Some(res);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("job completed"))
+        .collect()
+}
+
+/// Default worker-thread count: all available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+}
+
+/// Pairs each subject result with its baseline by benchmark name and
+/// returns `(benchmark, speedup)` rows.
+///
+/// # Panics
+///
+/// Panics if the two slices do not cover the same benchmarks in the same
+/// order.
+pub fn speedups(subject: &[SimResult], baseline: &[SimResult]) -> Vec<(String, f64)> {
+    assert_eq!(subject.len(), baseline.len(), "mismatched result sets");
+    subject
+        .iter()
+        .zip(baseline)
+        .map(|(s, b)| {
+            assert_eq!(s.benchmark, b.benchmark, "result sets out of order");
+            (s.benchmark.clone(), s.ipc() / b.ipc())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bosim_trace::suite;
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            warmup_instructions: 5_000,
+            measure_instructions: 20_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial() {
+        let jobs: Vec<Job> = ["456", "444"]
+            .iter()
+            .map(|id| Job {
+                bench: suite::benchmark(id).expect("exists"),
+                config: tiny_cfg(),
+            })
+            .collect();
+        let serial: Vec<SimResult> = jobs.iter().map(run_job).collect();
+        let parallel = run_jobs(&jobs, 2);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.benchmark, b.benchmark);
+            assert_eq!(a.cycles, b.cycles, "determinism violated");
+            assert_eq!(a.instructions, b.instructions);
+        }
+    }
+
+    #[test]
+    fn speedups_pair_by_name() {
+        let jobs: Vec<Job> = vec![Job {
+            bench: suite::benchmark("456").expect("exists"),
+            config: tiny_cfg(),
+        }];
+        let r = run_jobs(&jobs, 1);
+        let sp = speedups(&r, &r);
+        assert_eq!(sp.len(), 1);
+        assert!((sp[0].1 - 1.0).abs() < 1e-12);
+    }
+}

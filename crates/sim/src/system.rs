@@ -1,0 +1,342 @@
+//! Full-system assembly: cores + uncore, and the measurement loop.
+
+use crate::config::SimConfig;
+use crate::uncore::{Uncore, UncoreStats};
+use bosim_cpu::{Core, CoreStats, UncoreRequest};
+use bosim_dram::DramStats;
+use bosim_trace::{suite, BenchmarkSpec};
+use bosim_types::{CoreId, Cycle, LineAddr, ReqClass};
+
+/// The result of one measured simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Benchmark name (e.g. `"433.milc-like"`).
+    pub benchmark: String,
+    /// Configuration label (e.g. `"4KB/1-core/BO"`).
+    pub config: String,
+    /// Instructions retired by core 0 in the measured window.
+    pub instructions: u64,
+    /// Cycles elapsed in the measured window.
+    pub cycles: u64,
+    /// Core-0 statistics over the measured window.
+    pub core: CoreStats,
+    /// Uncore statistics over the measured window (core 0's L2 plus the
+    /// shared structures).
+    pub uncore: UncoreStats,
+    /// DRAM statistics over the measured window (all cores).
+    pub dram: DramStats,
+}
+
+impl SimResult {
+    /// Instructions per cycle of core 0.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// DRAM accesses (reads + writes) per 1000 instructions — the
+    /// Figure 13 metric.
+    pub fn dram_accesses_per_ki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        (self.dram.reads + self.dram.writes) as f64 * 1000.0 / self.instructions as f64
+    }
+}
+
+/// A complete simulated machine: up to four cores, private L2s, shared L3
+/// and dual-channel DRAM.
+#[derive(Debug)]
+pub struct System {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    uncore: Uncore,
+    cycle: Cycle,
+    benchmark: String,
+    req_buf: Vec<UncoreRequest>,
+    fill_buf: Vec<(CoreId, LineAddr)>,
+}
+
+impl System {
+    /// Builds a system running `bench` on core 0. Cores 1..active run the
+    /// §5.1 cache-thrashing micro-benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.active_cores` is 0 or greater than 4.
+    pub fn new(cfg: &SimConfig, bench: &BenchmarkSpec) -> Self {
+        assert!(
+            (1..=4).contains(&cfg.active_cores),
+            "active_cores must be 1..=4"
+        );
+        let mut core_cfg = cfg.core.clone();
+        core_cfg.stride_prefetcher = cfg.dl1_stride;
+        let mut cores = Vec::new();
+        for i in 0..cfg.active_cores {
+            let trace: Box<dyn bosim_trace::TraceSource> = if i == 0 {
+                Box::new(bench.build())
+            } else {
+                let mut spec = suite::thrasher();
+                spec.seed ^= 0x7417 * i as u64;
+                Box::new(spec.build())
+            };
+            cores.push(Core::new(
+                CoreId(i as u8),
+                core_cfg.clone(),
+                trace,
+                cfg.page,
+                cfg.seed ^ (i as u64) << 8,
+            ));
+        }
+        System {
+            uncore: Uncore::new(cfg),
+            cores,
+            cycle: 0,
+            benchmark: bench.name.clone(),
+            req_buf: Vec::with_capacity(64),
+            fill_buf: Vec::with_capacity(64),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Immutable access to the uncore (prefetcher introspection).
+    pub fn uncore(&self) -> &Uncore {
+        &self.uncore
+    }
+
+    /// One-line core state dump (diagnostics).
+    pub fn debug_core_state(&self, core: usize) -> String {
+        self.cores[core].debug_state()
+    }
+
+    /// Core-0 statistics so far.
+    pub fn core0_stats(&self) -> CoreStats {
+        self.cores[0].stats()
+    }
+
+    /// Advances the system by one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        // Uncore first: deliver due fills into the cores (may produce
+        // writebacks, handled immediately).
+        self.fill_buf.clear();
+        self.uncore.tick(now, &mut self.fill_buf);
+        for i in 0..self.fill_buf.len() {
+            let (core, line) = self.fill_buf[i];
+            self.req_buf.clear();
+            self.cores[core.index()].fill(line, now, &mut self.req_buf);
+            for r in 0..self.req_buf.len() {
+                let req = self.req_buf[r];
+                self.dispatch_request(core, req, now);
+            }
+        }
+        // Cores tick and emit new uncore requests.
+        for c in 0..self.cores.len() {
+            self.req_buf.clear();
+            self.cores[c].tick(now, &mut self.req_buf);
+            for r in 0..self.req_buf.len() {
+                let req = self.req_buf[r];
+                self.dispatch_request(CoreId(c as u8), req, now);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn dispatch_request(&mut self, core: CoreId, req: UncoreRequest, now: Cycle) {
+        match req {
+            UncoreRequest::Read {
+                line,
+                class,
+                ifetch,
+            } => {
+                debug_assert!(class != ReqClass::L2Prefetch);
+                self.uncore.core_read(core, line, class, ifetch, now);
+            }
+            UncoreRequest::Writeback { line } => {
+                self.uncore.core_writeback(core, line);
+            }
+        }
+    }
+
+    /// Runs until core 0 has retired `instructions` more instructions (or
+    /// the safety cycle cap is hit).
+    fn run_until_retired(&mut self, instructions: u64) -> u64 {
+        let start_retired = self.cores[0].retired();
+        let target = start_retired + instructions;
+        let start_cycle = self.cycle;
+        // Safety net: a run that sinks below 0.002 IPC is considered hung
+        // (deadlock guard for development; never triggered in practice).
+        let cycle_cap = self.cycle + instructions * 500 + 1_000_000;
+        while self.cores[0].retired() < target && self.cycle < cycle_cap {
+            self.step();
+        }
+        assert!(
+            self.cores[0].retired() >= target,
+            "simulation stalled: {} of {} instructions after {} cycles ({})",
+            self.cores[0].retired() - start_retired,
+            instructions,
+            self.cycle - start_cycle,
+            self.benchmark,
+        );
+        self.cycle - start_cycle
+    }
+
+    /// Runs warm-up + measurement per the configuration and returns the
+    /// measured-window result.
+    pub fn run(&mut self) -> SimResult {
+        self.run_until_retired(self.cfg.warmup_instructions);
+        // Snapshot at the measurement-window start.
+        let core_before = self.cores[0].stats();
+        let uncore_before = self.uncore.stats();
+        let dram_before = self.uncore.dram_stats();
+        let cycles = self.run_until_retired(self.cfg.measure_instructions);
+        let core_after = self.cores[0].stats();
+        let uncore_after = self.uncore.stats();
+        let dram_after = self.uncore.dram_stats();
+        SimResult {
+            benchmark: self.benchmark.clone(),
+            config: self.cfg.label(),
+            instructions: core_after.retired - core_before.retired,
+            cycles,
+            core: diff_core(core_before, core_after),
+            uncore: diff_uncore(uncore_before, uncore_after),
+            dram: diff_dram(dram_before, dram_after),
+        }
+    }
+}
+
+fn diff_core(a: CoreStats, b: CoreStats) -> CoreStats {
+    CoreStats {
+        retired: b.retired - a.retired,
+        branches: b.branches - a.branches,
+        mispredicts: b.mispredicts - a.mispredicts,
+        loads: b.loads - a.loads,
+        stores: b.stores - a.stores,
+        dl1_hits: b.dl1_hits - a.dl1_hits,
+        dl1_misses: b.dl1_misses - a.dl1_misses,
+        il1_misses: b.il1_misses - a.il1_misses,
+        l1_prefetches: b.l1_prefetches - a.l1_prefetches,
+        l1_prefetch_tlb_drops: b.l1_prefetch_tlb_drops - a.l1_prefetch_tlb_drops,
+    }
+}
+
+fn diff_uncore(a: UncoreStats, b: UncoreStats) -> UncoreStats {
+    UncoreStats {
+        l2_accesses: b.l2_accesses - a.l2_accesses,
+        l2_hits: b.l2_hits - a.l2_hits,
+        l2_prefetched_hits: b.l2_prefetched_hits - a.l2_prefetched_hits,
+        l2_misses: b.l2_misses - a.l2_misses,
+        l2_fill_merges: b.l2_fill_merges - a.l2_fill_merges,
+        l2_prefetches_queued: b.l2_prefetches_queued - a.l2_prefetches_queued,
+        l2_prefetches_issued: b.l2_prefetches_issued - a.l2_prefetches_issued,
+        l2_prefetches_cancelled: b.l2_prefetches_cancelled - a.l2_prefetches_cancelled,
+        l2_prefetches_redundant: b.l2_prefetches_redundant - a.l2_prefetches_redundant,
+        l2_prefetch_fills: b.l2_prefetch_fills - a.l2_prefetch_fills,
+        l3_accesses: b.l3_accesses - a.l3_accesses,
+        l3_hits: b.l3_hits - a.l3_hits,
+        l3_misses: b.l3_misses - a.l3_misses,
+        l3_fill_merges: b.l3_fill_merges - a.l3_fill_merges,
+        dram_writebacks: b.dram_writebacks - a.dram_writebacks,
+    }
+}
+
+fn diff_dram(a: DramStats, b: DramStats) -> DramStats {
+    DramStats {
+        reads: b.reads - a.reads,
+        writes: b.writes - a.writes,
+        row_hits: b.row_hits - a.row_hits,
+        row_opens: b.row_opens - a.row_opens,
+        row_conflicts: b.row_conflicts - a.row_conflicts,
+        urgent_reads: b.urgent_reads - a.urgent_reads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::L2PrefetcherKind;
+    use bosim_types::PageSize;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            warmup_instructions: 20_000,
+            measure_instructions: 60_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sequential_benchmark_runs_and_reports() {
+        let spec = suite::benchmark("462").expect("exists");
+        let mut sys = System::new(&quick_cfg(), &spec);
+        let res = sys.run();
+        assert_eq!(res.instructions, 60_000);
+        assert!(res.ipc() > 0.05, "IPC {}", res.ipc());
+        assert!(res.ipc() < 6.0);
+        assert!(res.dram.reads > 0, "{:?}", res.dram);
+    }
+
+    #[test]
+    fn compute_benchmark_has_high_ipc_and_low_dram() {
+        let spec = suite::benchmark("444").expect("exists");
+        let cfg = SimConfig {
+            warmup_instructions: 80_000,
+            measure_instructions: 60_000,
+            ..Default::default()
+        };
+        let mut sys = System::new(&cfg, &spec);
+        let res = sys.run();
+        assert!(res.ipc() > 1.0, "compute-bound IPC {}", res.ipc());
+        // Once the resident working set is warm, DRAM traffic is low.
+        assert!(
+            res.dram_accesses_per_ki() < 8.0,
+            "resident benchmark dram/ki {}",
+            res.dram_accesses_per_ki()
+        );
+    }
+
+    #[test]
+    fn bo_beats_no_prefetch_on_streams() {
+        let spec = suite::benchmark("462").expect("exists");
+        let base = quick_cfg();
+
+        let mut none = System::new(
+            &base.clone().with_prefetcher(L2PrefetcherKind::None),
+            &spec,
+        );
+        let ipc_none = none.run().ipc();
+
+        let mut bo = System::new(
+            &base.with_prefetcher(L2PrefetcherKind::Bo(Default::default())),
+            &spec,
+        );
+        let ipc_bo = bo.run().ipc();
+        assert!(
+            ipc_bo > ipc_none * 1.05,
+            "BO {ipc_bo} vs none {ipc_none}"
+        );
+    }
+
+    #[test]
+    fn two_core_config_runs() {
+        let spec = suite::benchmark("470").expect("exists");
+        let cfg = SimConfig {
+            active_cores: 2,
+            page: PageSize::M4,
+            warmup_instructions: 10_000,
+            measure_instructions: 30_000,
+            ..Default::default()
+        };
+        let mut sys = System::new(&cfg, &spec);
+        let res = sys.run();
+        assert!(res.ipc() > 0.01);
+    }
+}

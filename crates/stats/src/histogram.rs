@@ -1,0 +1,178 @@
+//! Simple bounded histograms for latency and value distributions.
+
+use core::fmt;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are uniform in `[0, bound)` with an overflow bucket at the end.
+/// Used for miss-latency and queue-occupancy distributions in the
+/// simulator's detailed statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bound: u64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` uniform buckets covering
+    /// `[0, bound)`, plus one overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `bound == 0`.
+    pub fn new(bound: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(bound > 0, "bound must be positive");
+        Histogram {
+            bound,
+            buckets: vec![0; buckets + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let n = self.buckets.len() - 1;
+        let idx = if value >= self.bound {
+            n
+        } else {
+            ((value as u128 * n as u128) / self.bound as u128) as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples that landed in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        *self.buckets.last().expect("bucket vec non-empty")
+    }
+
+    /// Approximate p-th percentile (p in 0..=100) using bucket lower
+    /// bounds; returns 0 when empty.
+    pub fn percentile(&self, p: u8) -> u64 {
+        assert!(p <= 100, "percentile must be <= 100");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as u128 * p as u128).div_ceil(100) as u64;
+        let mut seen = 0;
+        let n = self.buckets.len() - 1;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i >= n {
+                    self.bound
+                } else {
+                    (i as u128 * self.bound as u128 / n as u128) as u64
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs, overflow last
+    /// with lower bound `bound`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let n = self.buckets.len() - 1;
+        let bound = self.bound;
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            let lo = if i >= n {
+                bound
+            } else {
+                (i as u128 * bound as u128 / n as u128) as u64
+            };
+            (lo, c)
+        })
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram(n={}, mean={:.1}, max={})",
+            self.count,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summaries() {
+        let mut h = Histogram::new(100, 10);
+        for v in [5, 15, 15, 95, 250] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 250);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.mean() - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_monotone() {
+        let mut h = Histogram::new(1000, 100);
+        for v in 0..1000 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50);
+        let p90 = h.percentile(90);
+        let p99 = h.percentile(99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!((450..=550).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(10, 2);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99), 0);
+    }
+
+    #[test]
+    fn iter_covers_all_buckets() {
+        let mut h = Histogram::new(100, 4);
+        h.record(10);
+        h.record(99);
+        h.record(150);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs.len(), 5);
+        assert_eq!(pairs[0], (0, 1));
+        assert_eq!(pairs[4], (100, 1));
+        let total: u64 = pairs.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+}

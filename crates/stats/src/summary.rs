@@ -1,0 +1,175 @@
+//! Summary statistics: means and speedups.
+
+/// Arithmetic mean; `None` for an empty iterator.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Geometric mean; `None` for an empty iterator.
+///
+/// This is the summary statistic used throughout the paper's evaluation
+/// ("the rightmost cluster of each graph is the geometric mean over the 29
+/// benchmarks").
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive (speedups always are).
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// Harmonic mean; `None` for an empty iterator.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn harmonic_mean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut inv_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "harmonic mean requires positive values, got {v}");
+        inv_sum += 1.0 / v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(n as f64 / inv_sum)
+    }
+}
+
+/// Speedup of `subject` IPC over `baseline` IPC.
+///
+/// # Panics
+///
+/// Panics if `baseline` is not strictly positive.
+#[inline]
+pub fn speedup(subject_ipc: f64, baseline_ipc: f64) -> f64 {
+    assert!(baseline_ipc > 0.0, "baseline IPC must be positive");
+    subject_ipc / baseline_ipc
+}
+
+/// An events-per-kilo-instruction rate, e.g. Figure 13's "DRAM accesses
+/// per 1000 instructions".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RateStat {
+    /// Number of events observed.
+    pub events: u64,
+    /// Number of instructions over which they were observed.
+    pub instructions: u64,
+}
+
+impl RateStat {
+    /// Creates a rate from raw counts.
+    pub fn new(events: u64, instructions: u64) -> Self {
+        RateStat {
+            events,
+            instructions,
+        }
+    }
+
+    /// Events per 1000 instructions (0.0 when no instructions executed).
+    pub fn per_kilo_instr(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(std::iter::empty()), None);
+        assert!(close(mean([2.0, 4.0]).unwrap(), 3.0));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geometric_mean(std::iter::empty()), None);
+        assert!(close(geometric_mean([4.0, 1.0]).unwrap(), 2.0));
+        assert!(close(geometric_mean([8.0]).unwrap(), 8.0));
+    }
+
+    #[test]
+    fn harmonic_basics() {
+        assert!(close(harmonic_mean([1.0, 1.0]).unwrap(), 1.0));
+        assert!(close(harmonic_mean([2.0, 2.0]).unwrap(), 2.0));
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        assert!(close(speedup(1.5, 1.0), 1.5));
+        assert!(close(speedup(1.0, 2.0), 0.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_nonpositive() {
+        geometric_mean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn rate_per_kilo() {
+        let r = RateStat::new(50, 1_000_000);
+        assert!(close(r.per_kilo_instr(), 0.05));
+        assert_eq!(RateStat::new(10, 0).per_kilo_instr(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_geomean_between_min_and_max(values in proptest::collection::vec(0.01f64..100.0, 1..40)) {
+            let gm = geometric_mean(values.iter().copied()).unwrap();
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(gm >= lo - 1e-9 && gm <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_geomean_scale_invariance(values in proptest::collection::vec(0.1f64..10.0, 1..20),
+                                         k in 0.1f64..10.0) {
+            let gm = geometric_mean(values.iter().copied()).unwrap();
+            let gm_scaled = geometric_mean(values.iter().map(|v| v * k)).unwrap();
+            prop_assert!((gm_scaled - gm * k).abs() < 1e-6 * gm_scaled.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_hm_le_gm_le_am(values in proptest::collection::vec(0.1f64..10.0, 1..20)) {
+            let am = mean(values.iter().copied()).unwrap();
+            let gm = geometric_mean(values.iter().copied()).unwrap();
+            let hm = harmonic_mean(values.iter().copied()).unwrap();
+            prop_assert!(hm <= gm + 1e-9);
+            prop_assert!(gm <= am + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Binary trace serialisation.
+//!
+//! The paper's methodology stitches recorded trace samples (§5); this
+//! module provides an equivalent capability: capture any [`TraceSource`]
+//! prefix to a compact binary buffer or file and replay it later.
+//!
+//! Format (little endian), per record (26 bytes fixed):
+//!
+//! ```text
+//! u64 pc | u8 kind | u8 dst(0xFF=none) | u8 src0 | u8 src1
+//! u64 mem_vaddr (kind-gated) | u8 mem_size | u8 branch_flags | u64 target
+//! ```
+//!
+//! A 16-byte header carries a magic, version and record count.
+
+use crate::record::{BranchInfo, MemRef, MicroOp, Reg, UopKind};
+use crate::source::{ReplaySource, TraceSource};
+use bosim_types::VirtAddr;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::fs::File;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+const MAGIC: u32 = 0xB05_7ACE;
+const VERSION: u16 = 1;
+
+/// Errors produced while encoding or decoding trace files.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The buffer does not start with the trace magic number.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u16),
+    /// The buffer ended in the middle of a record.
+    Truncated,
+    /// A field held an invalid encoding (e.g. unknown µop kind).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file i/o error: {e}"),
+            TraceFileError::BadMagic => write!(f, "not a bosim trace file (bad magic)"),
+            TraceFileError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceFileError::Truncated => write!(f, "trace file is truncated"),
+            TraceFileError::Corrupt(what) => write!(f, "corrupt trace field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+fn kind_to_u8(k: UopKind) -> u8 {
+    match k {
+        UopKind::Int => 0,
+        UopKind::IntMul => 1,
+        UopKind::IntDiv => 2,
+        UopKind::Fp => 3,
+        UopKind::FpDiv => 4,
+        UopKind::Load => 5,
+        UopKind::Store => 6,
+        UopKind::CondBranch => 7,
+        UopKind::Jump => 8,
+        UopKind::IndirectBranch => 9,
+        UopKind::Nop => 10,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Option<UopKind> {
+    Some(match v {
+        0 => UopKind::Int,
+        1 => UopKind::IntMul,
+        2 => UopKind::IntDiv,
+        3 => UopKind::Fp,
+        4 => UopKind::FpDiv,
+        5 => UopKind::Load,
+        6 => UopKind::Store,
+        7 => UopKind::CondBranch,
+        8 => UopKind::Jump,
+        9 => UopKind::IndirectBranch,
+        10 => UopKind::Nop,
+        _ => return None,
+    })
+}
+
+fn reg_to_u8(r: Option<Reg>) -> u8 {
+    r.map(|r| r.0).unwrap_or(0xFF)
+}
+
+fn reg_from_u8(v: u8) -> Option<Reg> {
+    if v == 0xFF {
+        None
+    } else {
+        Some(Reg(v))
+    }
+}
+
+/// Encodes µops into a standalone binary buffer.
+pub fn encode(uops: &[MicroOp]) -> Bytes {
+    let mut b = BytesMut::with_capacity(16 + uops.len() * 30);
+    b.put_u32_le(MAGIC);
+    b.put_u16_le(VERSION);
+    b.put_u16_le(0); // reserved
+    b.put_u64_le(uops.len() as u64);
+    for u in uops {
+        b.put_u64_le(u.pc);
+        b.put_u8(kind_to_u8(u.kind));
+        b.put_u8(reg_to_u8(u.dst));
+        b.put_u8(reg_to_u8(u.srcs[0]));
+        b.put_u8(reg_to_u8(u.srcs[1]));
+        match u.mem {
+            Some(m) => {
+                b.put_u64_le(m.vaddr.0);
+                b.put_u8(m.size);
+            }
+            None => {
+                b.put_u64_le(0);
+                b.put_u8(0);
+            }
+        }
+        match u.branch {
+            Some(br) => {
+                b.put_u8(if br.taken { 3 } else { 1 });
+                b.put_u64_le(br.target);
+            }
+            None => {
+                b.put_u8(0);
+                b.put_u64_le(0);
+            }
+        }
+    }
+    b.freeze()
+}
+
+/// Decodes a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`TraceFileError`] when the magic/version are wrong, the
+/// buffer is truncated, or a field is invalid.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<MicroOp>, TraceFileError> {
+    if buf.remaining() < 16 {
+        return Err(TraceFileError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TraceFileError::BadVersion(version));
+    }
+    let _reserved = buf.get_u16_le();
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    const REC: usize = 8 + 4 + 9 + 9;
+    for _ in 0..n {
+        if buf.remaining() < REC {
+            return Err(TraceFileError::Truncated);
+        }
+        let pc = buf.get_u64_le();
+        let kind = kind_from_u8(buf.get_u8()).ok_or(TraceFileError::Corrupt("uop kind"))?;
+        let dst = reg_from_u8(buf.get_u8());
+        let s0 = reg_from_u8(buf.get_u8());
+        let s1 = reg_from_u8(buf.get_u8());
+        let vaddr = buf.get_u64_le();
+        let size = buf.get_u8();
+        let mem = if kind.is_mem() {
+            Some(MemRef {
+                vaddr: VirtAddr(vaddr),
+                size,
+            })
+        } else {
+            None
+        };
+        let bflags = buf.get_u8();
+        let target = buf.get_u64_le();
+        let branch = if bflags & 1 != 0 {
+            Some(BranchInfo {
+                taken: bflags & 2 != 0,
+                target,
+            })
+        } else {
+            None
+        };
+        out.push(MicroOp {
+            pc,
+            kind,
+            dst,
+            srcs: [s0, s1],
+            mem,
+            branch,
+        });
+    }
+    Ok(out)
+}
+
+/// Captures `n` µops from `src` and writes them to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn record_to_file(
+    src: &mut dyn TraceSource,
+    n: usize,
+    path: &Path,
+) -> Result<(), TraceFileError> {
+    let uops = crate::source::capture(src, n);
+    let bytes = encode(&uops);
+    let mut f = File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a trace file into a looping [`ReplaySource`].
+///
+/// # Errors
+///
+/// Returns decode or I/O errors; an empty trace is rejected as
+/// [`TraceFileError::Corrupt`].
+pub fn load_replay(path: &Path, name: &str) -> Result<ReplaySource, TraceFileError> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    let uops = decode(&buf)?;
+    if uops.is_empty() {
+        return Err(TraceFileError::Corrupt("empty trace"));
+    }
+    Ok(ReplaySource::new(name, uops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::capture;
+    use crate::suite;
+
+    #[test]
+    fn roundtrip_preserves_uops() {
+        let spec = suite::benchmark("470").unwrap();
+        let uops = capture(&mut spec.build(), 3_000);
+        let encoded = encode(&uops);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(uops, decoded);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = decode(&[0u8; 32]).unwrap_err();
+        assert!(matches!(err, TraceFileError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let uops = capture(&mut suite::benchmark("462").unwrap().build(), 10);
+        let encoded = encode(&uops);
+        let err = decode(&encoded[..encoded.len() - 3]).unwrap_err();
+        assert!(matches!(err, TraceFileError::Truncated));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("bosim_trace_test.btrace");
+        let spec = suite::benchmark("456").unwrap();
+        record_to_file(&mut spec.build(), 500, &path).unwrap();
+        let mut replay = load_replay(&path, "456-replayed").unwrap();
+        assert_eq!(replay.lap_len(), 500);
+        let replayed = capture(&mut replay, 500);
+        let original = capture(&mut spec.build(), 500);
+        assert_eq!(replayed, original);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(TraceFileError::BadMagic.to_string().contains("magic"));
+        assert!(TraceFileError::BadVersion(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,40 @@
+//! Trace model and synthetic SPEC-CPU2006-like workloads for `bosim`.
+//!
+//! The paper's simulator is trace driven (§5): traces of the committed
+//! instruction stream feed a timing model. This crate provides:
+//!
+//! * the µop record model ([`MicroOp`], [`UopKind`], [`Reg`]),
+//! * the [`TraceSource`] abstraction and a looping [`ReplaySource`],
+//! * a binary trace file format ([`file`]),
+//! * the synthetic benchmark machinery ([`synth`]) and the 29-entry
+//!   SPEC-CPU2006-like [`suite`], substituting for the proprietary SPEC
+//!   traces (see `DESIGN.md`),
+//! * the §5.1 cache-thrashing micro-benchmark ([`suite::thrasher`]),
+//! * trace analysis utilities ([`analyze`]): instruction mix, per-PC
+//!   stride detection, line-stride histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use bosim_trace::{suite, TraceSource};
+//!
+//! let spec = suite::benchmark("462").expect("libquantum-like exists");
+//! let mut src = spec.build();
+//! let uop = src.next_uop();
+//! assert!(uop.pc > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod file;
+mod kernels;
+mod record;
+mod source;
+pub mod suite;
+pub mod synth;
+
+pub use record::{BranchInfo, MemRef, MicroOp, Reg, UopKind, NUM_REGS};
+pub use source::{capture, ReplaySource, TraceSource};
+pub use synth::{BenchmarkSpec, KernelCfg, Schedule, SynthSource};

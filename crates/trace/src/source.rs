@@ -1,0 +1,95 @@
+//! Trace sources: anything that can feed the core model with µops.
+
+use crate::record::MicroOp;
+
+/// A source of micro-ops for one simulated core.
+///
+/// Sources are *infinite*: the simulator decides how many instructions to
+/// run. Finite recorded traces are replayed in a loop by
+/// [`ReplaySource`], mirroring the paper's sample-stitching methodology
+/// (§5: 20 samples of 50M instructions stitched together and, for our
+/// shorter runs, cycled).
+pub trait TraceSource: std::fmt::Debug {
+    /// Produces the next µop on the traced path.
+    fn next_uop(&mut self) -> MicroOp;
+
+    /// Human-readable benchmark name (e.g. `"433.milc-like"`).
+    fn name(&self) -> &str;
+}
+
+/// Replays a recorded µop vector in an endless loop.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    name: String,
+    uops: Vec<MicroOp>,
+    pos: usize,
+}
+
+impl ReplaySource {
+    /// Creates a looping replayer over `uops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is empty.
+    pub fn new(name: impl Into<String>, uops: Vec<MicroOp>) -> Self {
+        assert!(!uops.is_empty(), "cannot replay an empty trace");
+        ReplaySource {
+            name: name.into(),
+            uops,
+            pos: 0,
+        }
+    }
+
+    /// Length of one replay lap.
+    pub fn lap_len(&self) -> usize {
+        self.uops.len()
+    }
+}
+
+impl TraceSource for ReplaySource {
+    fn next_uop(&mut self) -> MicroOp {
+        let u = self.uops[self.pos];
+        self.pos += 1;
+        if self.pos == self.uops.len() {
+            self.pos = 0;
+        }
+        u
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Adapter capturing the first `n` µops of a source into a vector
+/// (useful for writing trace files and for tests).
+pub fn capture(src: &mut dyn TraceSource, n: usize) -> Vec<MicroOp> {
+    (0..n).map(|_| src.next_uop()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MicroOp;
+
+    #[test]
+    fn replay_loops() {
+        let uops = vec![MicroOp::nop(0), MicroOp::nop(4), MicroOp::nop(8)];
+        let mut r = ReplaySource::new("t", uops);
+        let pcs: Vec<u64> = (0..7).map(|_| r.next_uop().pc).collect();
+        assert_eq!(pcs, vec![0, 4, 8, 0, 4, 8, 0]);
+    }
+
+    #[test]
+    fn capture_takes_n() {
+        let uops = vec![MicroOp::nop(0), MicroOp::nop(4)];
+        let mut r = ReplaySource::new("t", uops);
+        assert_eq!(capture(&mut r, 5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_replay_panics() {
+        ReplaySource::new("t", vec![]);
+    }
+}

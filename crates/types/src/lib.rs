@@ -1,0 +1,51 @@
+//! Common foundation types for the `bosim` micro-architecture simulator.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * strongly-typed addresses ([`VirtAddr`], [`PhysAddr`], [`LineAddr`]) and
+//!   page geometry ([`PageSize`]),
+//! * request metadata ([`CoreId`], [`AccessKind`], [`ReqClass`]),
+//! * the simulated clock ([`Cycle`]),
+//! * a small deterministic mixing function ([`mix64`]) used for the
+//!   randomising virtual-to-physical hash and table index hashing.
+//!
+//! The simulator reproduces the system of *Best-Offset Hardware
+//! Prefetching* (Michaud, HPCA 2016). Cache lines are 64 bytes everywhere,
+//! as in the paper (Table 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use bosim_types::{LineAddr, PageSize};
+//!
+//! let line = LineAddr::from_byte_addr(0x4_1234_5678);
+//! let page = PageSize::K4;
+//! // Offset prefetchers never cross page boundaries.
+//! let next = line.checked_offset(3, page);
+//! assert!(next.is_some());
+//! assert_eq!(next.unwrap().0, line.0 + 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod prop_counter;
+mod req;
+mod rng;
+
+pub use addr::{LineAddr, PageSize, PhysAddr, VirtAddr, LINE_BYTES, LINE_SHIFT};
+pub use prop_counter::ProportionalCounters;
+pub use req::{AccessKind, CoreId, MemLevel, ReqClass};
+pub use rng::{mix64, SplitMix64};
+
+/// The simulated clock, counted in core cycles.
+///
+/// The paper assumes a fixed clock frequency (Table 1), so a single global
+/// cycle count is sufficient; DRAM bus cycles are 4 core cycles.
+pub type Cycle = u64;
+
+/// Number of core cycles per DRAM bus cycle (Table 1: "bus cycle = 4 core
+/// cycles").
+pub const CORE_CYCLES_PER_BUS_CYCLE: Cycle = 4;

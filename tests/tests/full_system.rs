@@ -1,0 +1,105 @@
+//! Full-system integration tests across all crates.
+
+use bosim::{L2PrefetcherKind, SimConfig, System};
+use bosim_trace::suite;
+use bosim_types::PageSize;
+
+fn quick(page: PageSize, cores: usize) -> SimConfig {
+    SimConfig {
+        warmup_instructions: 10_000,
+        measure_instructions: 40_000,
+        ..SimConfig::baseline(page, cores)
+    }
+}
+
+/// All six §5 baseline configurations run and produce sane IPCs.
+#[test]
+fn six_baselines_smoke() {
+    let spec = suite::benchmark("456").expect("exists");
+    for page in [PageSize::K4, PageSize::M4] {
+        for cores in [1usize, 2, 4] {
+            let res = System::new(&quick(page, cores), &spec).run();
+            assert!(
+                res.ipc() > 0.01 && res.ipc() < 8.0,
+                "{page:?}/{cores}: IPC {}",
+                res.ipc()
+            );
+        }
+    }
+}
+
+/// The same configuration twice gives bit-identical results.
+#[test]
+fn determinism() {
+    let spec = suite::benchmark("470").expect("exists");
+    let cfg = quick(PageSize::K4, 1).with_prefetcher(L2PrefetcherKind::Bo(Default::default()));
+    let a = System::new(&cfg, &spec).run();
+    let b = System::new(&cfg, &spec).run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.uncore, b.uncore);
+    assert_eq!(a.dram, b.dram);
+}
+
+/// Activity on other cores reduces core-0 IPC (the §5.1 observation).
+#[test]
+fn thrasher_cores_hurt_core0() {
+    let spec = suite::benchmark("462").expect("exists");
+    let solo = System::new(&quick(PageSize::K4, 1), &spec).run();
+    let shared = System::new(&quick(PageSize::K4, 4), &spec).run();
+    assert!(
+        shared.ipc() < solo.ipc(),
+        "4-core {} vs 1-core {}",
+        shared.ipc(),
+        solo.ipc()
+    );
+}
+
+/// Superpages help TLB-bound workloads (the §5.1 observation that IPC is
+/// generally higher with 4MB pages).
+#[test]
+fn superpages_do_not_hurt_streams() {
+    let spec = suite::benchmark("410").expect("exists");
+    let small = System::new(&quick(PageSize::K4, 1), &spec).run();
+    let big = System::new(&quick(PageSize::M4, 1), &spec).run();
+    assert!(
+        big.ipc() > small.ipc() * 0.95,
+        "4MB {} vs 4KB {}",
+        big.ipc(),
+        small.ipc()
+    );
+}
+
+/// Disabling the L2 prefetcher hurts streaming benchmarks (Figure 5).
+#[test]
+fn next_line_helps_streams() {
+    let spec = suite::benchmark("437").expect("exists");
+    let with = System::new(&quick(PageSize::K4, 1), &spec).run();
+    let without = System::new(
+        &quick(PageSize::K4, 1).with_prefetcher(L2PrefetcherKind::None),
+        &spec,
+    )
+    .run();
+    assert!(
+        with.ipc() > without.ipc(),
+        "next-line {} vs none {}",
+        with.ipc(),
+        without.ipc()
+    );
+}
+
+/// The prefetchers do not change architectural work: instruction and
+/// load/store counts in the measured window are identical across
+/// prefetcher configurations.
+#[test]
+fn prefetchers_do_not_change_architectural_counts() {
+    let spec = suite::benchmark("433").expect("exists");
+    let base = System::new(&quick(PageSize::M4, 1), &spec).run();
+    let bo = System::new(
+        &quick(PageSize::M4, 1).with_prefetcher(L2PrefetcherKind::Bo(Default::default())),
+        &spec,
+    )
+    .run();
+    assert_eq!(base.instructions, bo.instructions);
+    assert_eq!(base.core.stores, bo.core.stores);
+    assert_eq!(base.core.branches, bo.core.branches);
+}

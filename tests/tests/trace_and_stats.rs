@@ -1,0 +1,42 @@
+//! Trace-layer and statistics integration.
+
+use bosim_stats::geometric_mean;
+use bosim_trace::{capture, file, suite};
+
+/// Every benchmark generator is deterministic across builds.
+#[test]
+fn all_generators_deterministic() {
+    for spec in suite::suite() {
+        let a = capture(&mut spec.build(), 2_000);
+        let b = capture(&mut spec.build(), 2_000);
+        assert_eq!(a, b, "{}", spec.name);
+    }
+}
+
+/// Binary trace files round-trip for every benchmark.
+#[test]
+fn trace_file_roundtrip_all() {
+    for spec in suite::suite().into_iter().take(8) {
+        let uops = capture(&mut spec.build(), 1_000);
+        let bytes = file::encode(&uops);
+        let back = file::decode(&bytes).expect("decode");
+        assert_eq!(uops, back, "{}", spec.name);
+    }
+}
+
+/// A replayed trace prefix produces exactly the generator's µops.
+#[test]
+fn replay_matches_generator() {
+    let spec = suite::benchmark("459").expect("exists");
+    let uops = capture(&mut spec.build(), 3_000);
+    let mut replay = bosim_trace::ReplaySource::new("459-replay", uops.clone());
+    let replayed = capture(&mut replay, 3_000);
+    assert_eq!(uops, replayed);
+}
+
+/// The GM the harnesses print matches the library's summary math.
+#[test]
+fn geomean_sanity() {
+    let gm = geometric_mean([1.1, 0.9, 1.2, 1.0]).expect("non-empty");
+    assert!(gm > 0.9 && gm < 1.2);
+}
