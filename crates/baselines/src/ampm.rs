@@ -122,7 +122,9 @@ impl AmpmPrefetcher {
             Some(w) => w,
             None => {
                 let w = (0..ways)
-                    .max_by_key(|&i| (if slice[i].valid { 0u16 } else { 256 }) + slice[i].lru as u16)
+                    .max_by_key(|&i| {
+                        (if slice[i].valid { 0u16 } else { 256 }) + slice[i].lru as u16
+                    })
                     .expect("non-empty set");
                 slice[w].valid = true;
                 slice[w].tag = zone_id;

@@ -350,22 +350,21 @@ mod tests {
 
     #[test]
     fn request_budget_is_respected() {
-        let mut cfg = SbpConfig::default();
-        cfg.max_requests_per_access = 2;
+        let cfg = SbpConfig {
+            max_requests_per_access: 2,
+            ..Default::default()
+        };
         let mut p = SandboxPrefetcher::new(cfg, PageSize::M4);
-        let mut line = 8192u64;
-        for _ in 0..256 * 8 {
+        for line in 8192u64..8192 + 256 * 8 {
             let reqs = access(&mut p, line);
             assert!(reqs.len() <= 2, "budget exceeded: {}", reqs.len());
-            line += 1;
         }
     }
 
     #[test]
     fn page_boundaries_respected() {
         let mut p = SandboxPrefetcher::with_defaults(PageSize::K4);
-        let mut line = 0u64;
-        for _ in 0..256 * 6 {
+        for line in 0u64..256 * 6 {
             let reqs = access(&mut p, line);
             for r in reqs {
                 assert!(
@@ -373,7 +372,6 @@ mod tests {
                     "prefetch crossed page"
                 );
             }
-            line += 1;
         }
     }
 }

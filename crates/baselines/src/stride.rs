@@ -296,6 +296,8 @@ mod tests {
         // PC 0 was LRU and evicted: no prefetch.
         assert_eq!(p.on_access(0x400000, VirtAddr(0x500000)), None);
         // PC 8 is present and confident.
-        assert!(p.on_access(0x400000 + 8 * 4, VirtAddr(0x9000 * 9)).is_some());
+        assert!(p
+            .on_access(0x400000 + 8 * 4, VirtAddr(0x9000 * 9))
+            .is_some());
     }
 }

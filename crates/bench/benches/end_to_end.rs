@@ -1,7 +1,7 @@
 //! End-to-end simulator throughput: short full-system runs per
 //! L2-prefetcher configuration.
 
-use bosim::{L2PrefetcherKind, SimConfig, System};
+use bosim::{prefetchers, SimConfig, System};
 use bosim_trace::suite;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -9,10 +9,10 @@ fn bench_full_system(c: &mut Criterion) {
     let mut g = c.benchmark_group("full_system_20k_instructions");
     g.sample_size(10);
     for (name, kind) in [
-        ("none", L2PrefetcherKind::None),
-        ("next_line", L2PrefetcherKind::NextLine),
-        ("bo", L2PrefetcherKind::Bo(Default::default())),
-        ("sbp", L2PrefetcherKind::Sbp(Default::default())),
+        ("none", prefetchers::none()),
+        ("next_line", prefetchers::next_line()),
+        ("bo", prefetchers::bo_default()),
+        ("sbp", prefetchers::sbp_default()),
     ] {
         g.bench_function(name, |b| {
             let spec = suite::benchmark("462").expect("exists");

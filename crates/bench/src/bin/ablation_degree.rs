@@ -2,25 +2,30 @@
 //! prefetching (best + second-best offsets), GM speedup and the traffic
 //! cost.
 use best_offset::BoConfig;
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
 fn main() {
-    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![
+    let variants: Vec<(String, VariantFn)> = vec![
         (
             "BO degree-1".to_string(),
-            Box::new(|p, n| {
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
-            }),
+            Box::new(|p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo_default())),
         ),
         (
             "BO degree-2".to_string(),
             Box::new(|p, n| {
-                let cfg = BoConfig { degree: 2, ..Default::default() };
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(cfg))
+                let cfg = BoConfig {
+                    degree: 2,
+                    ..Default::default()
+                };
+                SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo(cfg))
             }),
         ),
     ];
-    gm_variants_figure("Ablation: BO prefetch degree (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "ablation_degree",
+        "Ablation: BO prefetch degree (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

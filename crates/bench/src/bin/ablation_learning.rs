@@ -1,21 +1,28 @@
 //! Ablation (beyond the paper): SCOREMAX / ROUNDMAX learning-phase knobs.
 use best_offset::BoConfig;
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
 fn main() {
     let grid = [(15u32, 50u32), (31, 100), (31, 50), (63, 200), (15, 100)];
-    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = grid
+    let variants: Vec<(String, VariantFn)> = grid
         .iter()
         .map(|&(sm, rm)| {
-            let name = format!("SCOREMAX={sm},ROUNDMAX={rm}");
-            let f: Box<dyn Fn(PageSize, usize) -> SimConfig> = Box::new(move |p, n| {
-                let cfg = BoConfig { score_max: sm, round_max: rm, ..Default::default() };
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(cfg))
+            let f: VariantFn = Box::new(move |p, n| {
+                let cfg = BoConfig {
+                    score_max: sm,
+                    round_max: rm,
+                    ..Default::default()
+                };
+                SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo(cfg))
             });
-            (name, f)
+            (format!("SCOREMAX={sm},ROUNDMAX={rm}"), f)
         })
         .collect();
-    gm_variants_figure("Ablation: learning phase parameters (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "ablation_learning",
+        "Ablation: learning phase parameters (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

@@ -1,24 +1,43 @@
 //! Ablation (beyond the paper): the 5-smooth offset list vs the full
 //! 1..N ranges discussed in §4.2, and a negative-offset variant.
 use best_offset::{BoConfig, OffsetList};
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
-fn bo_with(list: OffsetList) -> impl Fn(PageSize, usize) -> SimConfig {
-    move |p, n| {
-        let cfg = BoConfig { offsets: list.clone(), ..Default::default() };
-        SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(cfg))
-    }
+fn bo_with(list: OffsetList) -> VariantFn {
+    Box::new(move |p, n| {
+        let cfg = BoConfig {
+            offsets: list.clone(),
+            ..Default::default()
+        };
+        SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo(cfg))
+    })
 }
 
 fn main() {
     let neg: Vec<i64> = (1..=64).chain((1..=8).map(|d| -d)).collect();
-    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![
-        ("5-smooth<=256 (paper)".to_string(), Box::new(bo_with(OffsetList::paper_default()))),
-        ("full 1..=63".to_string(), Box::new(bo_with(OffsetList::full_range(63)))),
-        ("full 1..=256".to_string(), Box::new(bo_with(OffsetList::full_range(256)))),
-        ("1..=64 + negatives".to_string(), Box::new(bo_with(OffsetList::new(neg)))),
+    let variants: Vec<(String, VariantFn)> = vec![
+        (
+            "5-smooth<=256 (paper)".to_string(),
+            bo_with(OffsetList::paper_default()),
+        ),
+        (
+            "full 1..=63".to_string(),
+            bo_with(OffsetList::full_range(63)),
+        ),
+        (
+            "full 1..=256".to_string(),
+            bo_with(OffsetList::full_range(256)),
+        ),
+        (
+            "1..=64 + negatives".to_string(),
+            bo_with(OffsetList::new(neg)),
+        ),
     ];
-    gm_variants_figure("Ablation: offset list construction (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "ablation_offset_list",
+        "Ablation: offset list construction (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

@@ -1,30 +1,28 @@
 //! Extension experiment: BO vs SBP vs AMPM-lite (geometric-mean speedup
 //! over the next-line baselines). Reproduces the §2 context claim that
 //! SBP matches AMPM while BO beats both.
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
 fn main() {
-    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![
+    let variants: Vec<(String, VariantFn)> = vec![
         (
             "BO".to_string(),
-            Box::new(|p, n| {
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
-            }),
+            Box::new(|p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo_default())),
         ),
         (
             "SBP".to_string(),
-            Box::new(|p, n| {
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Sbp(Default::default()))
-            }),
+            Box::new(|p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::sbp_default())),
         ),
         (
             "AMPM".to_string(),
-            Box::new(|p, n| {
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Ampm(Default::default()))
-            }),
+            Box::new(|p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::ampm_default())),
         ),
     ];
-    gm_variants_figure("Extension: BO vs SBP vs AMPM-lite (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "extra_ampm",
+        "Extension: BO vs SBP vs AMPM-lite (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

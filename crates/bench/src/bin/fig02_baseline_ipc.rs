@@ -1,22 +1,14 @@
 //! Figure 2: IPC on core 0 for the six baseline configurations
 //! (1/2/4 active cores x 4KB/4MB pages), next-line L2 prefetching.
 use bosim::SimConfig;
-use bosim_bench::{cfg_label, run_grid, selected_benchmarks, short_label, six_baselines, Figure};
+use bosim_bench::{cfg_label, six_baselines, Experiment, Metric};
 
 fn main() {
-    let benches = selected_benchmarks();
-    let baselines = six_baselines();
-    let configs: Vec<SimConfig> = baselines
-        .iter()
-        .map(|&(p, n)| SimConfig::baseline(p, n))
-        .collect();
-    let grids = run_grid(&benches, &configs);
-    let series = baselines.iter().map(|&(p, n)| cfg_label(p, n)).collect();
-    let mut fig = Figure::new("Figure 2: baseline IPC on core 0", series);
-    fig.with_gm = false;
-    for (bi, b) in benches.iter().enumerate() {
-        let vals = grids.iter().map(|g| g[bi].ipc()).collect();
-        fig.row(short_label(&b.name), vals);
+    let mut e = Experiment::new("fig02_baseline_ipc", "Figure 2: baseline IPC on core 0")
+        .metric(Metric::Ipc)
+        .gm(false);
+    for (page, cores) in six_baselines() {
+        e = e.arm(cfg_label(page, cores), SimConfig::baseline(page, cores));
     }
-    fig.print();
+    e.run_and_emit();
 }

@@ -1,33 +1,25 @@
 //! Figure 3: impact of replacing the baseline 5P L3 policy with LRU and
 //! DRRIP (4KB pages; speedups relative to the 5P baselines).
 use bosim::SimConfig;
-use bosim_bench::{run_grid, selected_benchmarks, short_label, Figure};
+use bosim_bench::Experiment;
 use bosim_cache::policy::PolicyKind;
 use bosim_types::PageSize;
 
 fn main() {
-    let benches = selected_benchmarks();
-    let cores = [1usize, 2, 4];
     for policy in [PolicyKind::Lru, PolicyKind::Drrip] {
-        let mut configs = Vec::new();
-        for &n in &cores {
-            configs.push(SimConfig::baseline(PageSize::K4, n));
-            let mut c = SimConfig::baseline(PageSize::K4, n);
-            c.l3_policy = policy;
-            configs.push(c);
-        }
-        let grids = run_grid(&benches, &configs);
-        let series = cores.iter().map(|n| format!("{n}-core")).collect();
-        let mut fig = Figure::new(
+        let mut e = Experiment::new(
+            format!("fig03_l3_{}", policy.label().to_lowercase()),
             format!("Figure 3: L3 {} vs 5P baseline (4KB)", policy.label()),
-            series,
         );
-        for (bi, b) in benches.iter().enumerate() {
-            let vals = (0..cores.len())
-                .map(|ci| grids[ci * 2 + 1][bi].ipc() / grids[ci * 2][bi].ipc())
-                .collect();
-            fig.row(short_label(&b.name), vals);
+        for cores in [1usize, 2, 4] {
+            let mut subject = SimConfig::baseline(PageSize::K4, cores);
+            subject.l3_policy = policy;
+            e = e.arm_vs(
+                format!("{cores}-core"),
+                subject,
+                SimConfig::baseline(PageSize::K4, cores),
+            );
         }
-        fig.print();
+        e.run_and_emit();
     }
 }

@@ -1,16 +1,17 @@
 //! Figure 4: impact of disabling the DL1 stride prefetcher (speedups
 //! relative to the baselines; below 1.0 means the prefetcher helps).
 use bosim::SimConfig;
-use bosim_bench::per_benchmark_speedup_figure;
+use bosim_bench::six_baseline_speedup;
 
 fn main() {
-    let fig = per_benchmark_speedup_figure(
+    six_baseline_speedup(
+        "fig04_dl1_stride",
         "Figure 4: disabling the DL1 stride prefetcher",
         |page, cores| {
             let mut c = SimConfig::baseline(page, cores);
             c.dl1_stride = false;
             c
         },
-    );
-    fig.print();
+    )
+    .run_and_emit();
 }

@@ -1,14 +1,13 @@
 //! Figure 5: impact of disabling the L2 next-line prefetcher (speedups
 //! relative to the baselines; below 1.0 means next-line helps).
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::per_benchmark_speedup_figure;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::six_baseline_speedup;
 
 fn main() {
-    let fig = per_benchmark_speedup_figure(
+    six_baseline_speedup(
+        "fig05_next_line",
         "Figure 5: disabling the L2 next-line prefetcher",
-        |page, cores| {
-            SimConfig::baseline(page, cores).with_prefetcher(L2PrefetcherKind::None)
-        },
-    );
-    fig.print();
+        |page, cores| SimConfig::baseline(page, cores).with_prefetcher(prefetchers::none()),
+    )
+    .run_and_emit();
 }

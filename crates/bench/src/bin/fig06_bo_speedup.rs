@@ -1,14 +1,12 @@
 //! Figure 6: BO prefetcher speedup relative to the next-line baselines.
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::per_benchmark_speedup_figure;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::six_baseline_speedup;
 
 fn main() {
-    let fig = per_benchmark_speedup_figure(
+    six_baseline_speedup(
+        "fig06_bo_speedup",
         "Figure 6: BO prefetcher speedup over next-line",
-        |page, cores| {
-            SimConfig::baseline(page, cores)
-                .with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
-        },
-    );
-    fig.print();
+        |page, cores| SimConfig::baseline(page, cores).with_prefetcher(prefetchers::bo_default()),
+    )
+    .run_and_emit();
 }

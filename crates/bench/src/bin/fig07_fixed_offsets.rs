@@ -1,23 +1,23 @@
 //! Figure 7: BO compared with fixed-offset prefetchers D=2..7 (geometric
 //! mean speedup over the next-line baselines).
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
 fn main() {
-    let mut variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![(
+    let mut variants: Vec<(String, VariantFn)> = vec![(
         "BO".to_string(),
-        Box::new(|p, n| {
-            SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
-        }),
+        Box::new(|p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo_default())),
     )];
     for d in 2..=7i64 {
         variants.push((
             format!("D={d}"),
-            Box::new(move |p, n| {
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Fixed(d))
-            }),
+            Box::new(move |p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::fixed(d))),
         ));
     }
-    gm_variants_figure("Figure 7: BO vs fixed offsets (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "fig07_fixed_offsets",
+        "Figure 7: BO vs fixed offsets (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

@@ -1,9 +1,8 @@
 //! Figure 8: fixed-offset prefetching with offsets 2..256 on benchmarks
 //! 433, 459, 470 and 462 (4MB pages, 1 active core), with the BO speedup
 //! as the reference line. `BOSIM_OFFSET_STEP` controls the sweep step.
-use bosim::{run_jobs, Job, L2PrefetcherKind, SimConfig};
-use bosim_bench::{short_label, threads, Figure};
-use bosim_trace::suite;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{Experiment, Layout};
 use bosim_types::PageSize;
 
 fn main() {
@@ -11,54 +10,29 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
-    let ids = ["433", "459", "470", "462"];
-    let benches: Vec<_> = ids
-        .iter()
-        .map(|id| suite::benchmark(id).expect("figure 8 benchmark"))
-        .collect();
-    let base = SimConfig::baseline(PageSize::M4, 1);
     let mut offsets: Vec<i64> = (2..=256).step_by(step.max(1) as usize).collect();
     if !offsets.contains(&256) {
         offsets.push(256);
     }
-    // Jobs: baseline (next-line), BO, then every fixed offset, per bench.
-    let mut jobs = Vec::new();
-    for b in &benches {
-        jobs.push(Job { bench: b.clone(), config: base.clone() });
-        jobs.push(Job {
-            bench: b.clone(),
-            config: base.clone().with_prefetcher(L2PrefetcherKind::Bo(Default::default())),
-        });
-        for &d in &offsets {
-            jobs.push(Job {
-                bench: b.clone(),
-                config: base.clone().with_prefetcher(L2PrefetcherKind::Fixed(d)),
-            });
-        }
-    }
-    eprintln!("[bosim] fig8: {} jobs (step {step})", jobs.len());
-    let results = run_jobs(&jobs, threads());
-    let per_bench = 2 + offsets.len();
-    let series = benches.iter().map(|b| short_label(&b.name)).collect();
-    let mut fig = Figure::new(
+    let base = SimConfig::baseline(PageSize::M4, 1);
+    let mut e = Experiment::new(
+        "fig08_offset_sweep",
         "Figure 8: fixed-offset sweep, 4MB pages, 1 core (speedup vs next-line)",
-        series,
+    )
+    .benchmark_ids(&["433", "459", "470", "462"])
+    .layout(Layout::ArmRows)
+    .gm(false)
+    .arm_vs(
+        "BO",
+        base.clone().with_prefetcher(prefetchers::bo_default()),
+        base.clone(),
     );
-    fig.with_gm = false;
-    // BO reference line first.
-    let mut bo_vals = Vec::new();
-    for (bi, _) in benches.iter().enumerate() {
-        let base_ipc = results[bi * per_bench].ipc();
-        bo_vals.push(results[bi * per_bench + 1].ipc() / base_ipc);
+    for d in offsets {
+        e = e.arm_vs(
+            format!("D={d}"),
+            base.clone().with_prefetcher(prefetchers::fixed(d)),
+            base.clone(),
+        );
     }
-    fig.row("BO", bo_vals);
-    for (oi, &d) in offsets.iter().enumerate() {
-        let mut vals = Vec::new();
-        for (bi, _) in benches.iter().enumerate() {
-            let base_ipc = results[bi * per_bench].ipc();
-            vals.push(results[bi * per_bench + 2 + oi].ipc() / base_ipc);
-        }
-        fig.row(format!("D={d}"), vals);
-    }
-    fig.print();
+    e.run_and_emit();
 }

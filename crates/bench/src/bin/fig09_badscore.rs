@@ -1,22 +1,27 @@
 //! Figure 9: impact of the BADSCORE throttling threshold (GM speedup over
 //! the next-line baselines).
 use best_offset::BoConfig;
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
 fn main() {
-    let values = [0u32, 1, 2, 5, 10];
-    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = values
+    let variants: Vec<(String, VariantFn)> = [0u32, 1, 2, 5, 10]
         .iter()
         .map(|&bs| {
-            let name = format!("BADSCORE={bs}");
-            let f: Box<dyn Fn(PageSize, usize) -> SimConfig> = Box::new(move |p, n| {
-                let cfg = BoConfig { bad_score: bs, ..Default::default() };
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(cfg))
+            let f: VariantFn = Box::new(move |p, n| {
+                let cfg = BoConfig {
+                    bad_score: bs,
+                    ..Default::default()
+                };
+                SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo(cfg))
             });
-            (name, f)
+            (format!("BADSCORE={bs}"), f)
         })
         .collect();
-    gm_variants_figure("Figure 9: BADSCORE sweep (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "fig09_badscore",
+        "Figure 9: BADSCORE sweep (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

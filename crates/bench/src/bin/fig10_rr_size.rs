@@ -1,22 +1,27 @@
 //! Figure 10: impact of the RR table size (GM speedup over the next-line
 //! baselines).
 use best_offset::BoConfig;
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
 fn main() {
-    let sizes = [32usize, 64, 128, 256, 512];
-    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = sizes
+    let variants: Vec<(String, VariantFn)> = [32usize, 64, 128, 256, 512]
         .iter()
         .map(|&rr| {
-            let name = format!("RR={rr}");
-            let f: Box<dyn Fn(PageSize, usize) -> SimConfig> = Box::new(move |p, n| {
-                let cfg = BoConfig { rr_entries: rr, ..Default::default() };
-                SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(cfg))
+            let f: VariantFn = Box::new(move |p, n| {
+                let cfg = BoConfig {
+                    rr_entries: rr,
+                    ..Default::default()
+                };
+                SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo(cfg))
             });
-            (name, f)
+            (format!("RR={rr}"), f)
         })
         .collect();
-    gm_variants_figure("Figure 10: RR table size sweep (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "fig10_rr_size",
+        "Figure 10: RR table size sweep (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

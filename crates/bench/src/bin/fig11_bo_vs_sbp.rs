@@ -1,25 +1,23 @@
 //! Figure 11: BO vs SBP (geometric mean speedups relative to the
 //! next-line baselines).
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::gm_variants_figure;
-use bosim_types::PageSize;
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{six_baseline_gm_variants, VariantFn};
 
 fn main() {
-    let variants: Vec<(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)> = vec![
+    let variants: Vec<(String, VariantFn)> = vec![
         (
             "BO".to_string(),
-            Box::new(|p, n| {
-                SimConfig::baseline(p, n)
-                    .with_prefetcher(L2PrefetcherKind::Bo(Default::default()))
-            }),
+            Box::new(|p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::bo_default())),
         ),
         (
             "SBP".to_string(),
-            Box::new(|p, n| {
-                SimConfig::baseline(p, n)
-                    .with_prefetcher(L2PrefetcherKind::Sbp(Default::default()))
-            }),
+            Box::new(|p, n| SimConfig::baseline(p, n).with_prefetcher(prefetchers::sbp_default())),
         ),
     ];
-    gm_variants_figure("Figure 11: BO vs SBP (GM speedup)", &variants).print();
+    six_baseline_gm_variants(
+        "fig11_bo_vs_sbp",
+        "Figure 11: BO vs SBP (GM speedup)",
+        &variants,
+    )
+    .run_and_emit();
 }

@@ -1,23 +1,18 @@
 //! Figure 12: BO prefetcher speedup relative to SBP, per benchmark.
-use bosim::{L2PrefetcherKind, SimConfig};
-use bosim_bench::{cfg_label, run_grid, selected_benchmarks, short_label, six_baselines, Figure};
+use bosim::{prefetchers, SimConfig};
+use bosim_bench::{cfg_label, six_baselines, Experiment};
 
 fn main() {
-    let benches = selected_benchmarks();
-    let baselines = six_baselines();
-    let mut configs = Vec::new();
-    for &(p, n) in &baselines {
-        configs.push(SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Sbp(Default::default())));
-        configs.push(SimConfig::baseline(p, n).with_prefetcher(L2PrefetcherKind::Bo(Default::default())));
+    let mut e = Experiment::new(
+        "fig12_bo_vs_sbp_bench",
+        "Figure 12: BO speedup relative to SBP",
+    );
+    for (page, cores) in six_baselines() {
+        e = e.arm_vs(
+            cfg_label(page, cores),
+            SimConfig::baseline(page, cores).with_prefetcher(prefetchers::bo_default()),
+            SimConfig::baseline(page, cores).with_prefetcher(prefetchers::sbp_default()),
+        );
     }
-    let grids = run_grid(&benches, &configs);
-    let series = baselines.iter().map(|&(p, n)| cfg_label(p, n)).collect();
-    let mut fig = Figure::new("Figure 12: BO speedup relative to SBP", series);
-    for (bi, b) in benches.iter().enumerate() {
-        let vals = (0..baselines.len())
-            .map(|ci| grids[ci * 2 + 1][bi].ipc() / grids[ci * 2][bi].ipc())
-            .collect();
-        fig.row(short_label(&b.name), vals);
-    }
-    fig.print();
+    e.run_and_emit();
 }

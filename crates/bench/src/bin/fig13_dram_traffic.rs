@@ -1,45 +1,29 @@
 //! Figure 13: DRAM accesses per 1000 instructions for no-prefetch,
 //! next-line, BO and SBP (4KB pages, 1 active core, memory-intensive
 //! subset).
-use bosim::{run_jobs, Job, L2PrefetcherKind, SimConfig};
-use bosim_bench::{short_label, threads, Figure};
+use bosim::{prefetchers, PrefetcherHandle, SimConfig};
+use bosim_bench::{Experiment, Metric};
 use bosim_trace::suite;
 use bosim_types::PageSize;
 
 fn main() {
-    let benches: Vec<_> = suite::fig13_subset()
-        .iter()
-        .map(|id| suite::benchmark(id).expect("subset id"))
-        .collect();
     let base = SimConfig::baseline(PageSize::K4, 1);
-    let variants = [
-        ("no-prefetch", L2PrefetcherKind::None),
-        ("next-line", L2PrefetcherKind::NextLine),
-        ("BO", L2PrefetcherKind::Bo(Default::default())),
-        ("SBP", L2PrefetcherKind::Sbp(Default::default())),
+    let variants: [(&str, PrefetcherHandle); 4] = [
+        ("no-prefetch", prefetchers::none()),
+        ("next-line", prefetchers::next_line()),
+        ("BO", prefetchers::bo_default()),
+        ("SBP", prefetchers::sbp_default()),
     ];
-    let mut jobs = Vec::new();
-    for b in &benches {
-        for (_, kind) in &variants {
-            jobs.push(Job {
-                bench: b.clone(),
-                config: base.clone().with_prefetcher(kind.clone()),
-            });
-        }
-    }
-    let results = run_jobs(&jobs, threads());
-    let series = variants.iter().map(|(n, _)| n.to_string()).collect();
-    let mut fig = Figure::new(
+    let mut e = Experiment::new(
+        "fig13_dram_traffic",
         "Figure 13: DRAM accesses per 1000 instructions (4KB, 1 core)",
-        series,
-    );
-    fig.with_gm = false;
-    fig.decimals = 1;
-    for (bi, b) in benches.iter().enumerate() {
-        let vals = (0..variants.len())
-            .map(|vi| results[bi * variants.len() + vi].dram_accesses_per_ki())
-            .collect();
-        fig.row(short_label(&b.name), vals);
+    )
+    .benchmark_ids(&suite::fig13_subset())
+    .metric(Metric::DramPerKi)
+    .gm(false)
+    .decimals(1);
+    for (name, handle) in variants {
+        e = e.arm(name, base.clone().with_prefetcher(handle));
     }
-    fig.print();
+    e.run_and_emit();
 }

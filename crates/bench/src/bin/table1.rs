@@ -9,27 +9,111 @@ fn main() {
     let t = DdrTimings::default();
     let mut tab = Table::new(["parameter", "value"]);
     tab.row(vec!["clock freq.".to_string(), "fixed".to_string()]);
-    tab.row(vec!["branch pred.".to_string(), "TAGE & ITTAGE".to_string()]);
-    tab.row(vec!["reorder buffer".to_string(), format!("{} micro-ops", c.core.rob_size)]);
-    tab.row(vec!["decode".to_string(), format!("{} instructions / cycle", c.core.dispatch_width)]);
-    tab.row(vec!["retire".to_string(), format!("{} micro-ops / cycle", c.core.retire_width)]);
-    tab.row(vec!["load ports".to_string(), format!("{}", c.core.load_ports)]);
-    tab.row(vec!["exec ports".to_string(), format!("{} INT, {} FP", c.core.int_ports, c.core.fp_ports)]);
-    tab.row(vec!["branch misp. penalty".to_string(), format!("{} cycles (minimum), redirect at execution", c.core.mispredict_penalty)]);
-    tab.row(vec!["MSHR".to_string(), format!("{} DL1 block requests", c.core.mshrs)]);
-    tab.row(vec!["store buffer".to_string(), format!("{} stores", c.core.store_buffer)]);
+    tab.row(vec![
+        "branch pred.".to_string(),
+        "TAGE & ITTAGE".to_string(),
+    ]);
+    tab.row(vec![
+        "reorder buffer".to_string(),
+        format!("{} micro-ops", c.core.rob_size),
+    ]);
+    tab.row(vec![
+        "decode".to_string(),
+        format!("{} instructions / cycle", c.core.dispatch_width),
+    ]);
+    tab.row(vec![
+        "retire".to_string(),
+        format!("{} micro-ops / cycle", c.core.retire_width),
+    ]);
+    tab.row(vec![
+        "load ports".to_string(),
+        format!("{}", c.core.load_ports),
+    ]);
+    tab.row(vec![
+        "exec ports".to_string(),
+        format!("{} INT, {} FP", c.core.int_ports, c.core.fp_ports),
+    ]);
+    tab.row(vec![
+        "branch misp. penalty".to_string(),
+        format!(
+            "{} cycles (minimum), redirect at execution",
+            c.core.mispredict_penalty
+        ),
+    ]);
+    tab.row(vec![
+        "MSHR".to_string(),
+        format!("{} DL1 block requests", c.core.mshrs),
+    ]);
+    tab.row(vec![
+        "store buffer".to_string(),
+        format!("{} stores", c.core.store_buffer),
+    ]);
     tab.row(vec!["cache line".to_string(), "64 bytes".to_string()]);
-    tab.row(vec!["IL1".to_string(), format!("{}KB, {}-way LRU", c.core.il1_size >> 10, c.core.il1_ways)]);
-    tab.row(vec!["DL1".to_string(), format!("{}KB, {}-way LRU, {}-cycle lat.", c.core.dl1_size >> 10, c.core.dl1_ways, c.core.dl1_latency)]);
-    tab.row(vec!["L2 (private)".to_string(), format!("{}KB, {}-way LRU, {}-cycle lat., {}-entry fill queue", c.l2_size >> 10, c.l2_ways, c.l2_latency, c.l2_fill_queue)]);
-    tab.row(vec!["L3 (shared)".to_string(), format!("{}MB, {}-way {}, {}-cycle lat., {}-entry fill queue", c.l3_size >> 20, c.l3_ways, c.l3_policy.label(), c.l3_latency, c.l3_fill_queue)]);
-    tab.row(vec!["L2 prefetch queue".to_string(), format!("{} entries", c.prefetch_queue)]);
-    tab.row(vec!["TLB entries".to_string(), "ITLB1: 64, DTLB1: 64, TLB2: 512".to_string()]);
-    tab.row(vec!["memory".to_string(), "2 channels, 1 controller/channel, 8 banks, FR-FCFS + steady/urgent".to_string()]);
-    tab.row(vec!["DDR3 param. (bus cycles)".to_string(), format!("tCL={}, tRCD={}, tRP={}, tRAS={}, tCWL={}, tRTP={}, tWR={}, tWTR={}, tBURST={}", t.t_cl, t.t_rcd, t.t_rp, t.t_ras, t.t_cwl, t.t_rtp, t.t_wr, t.t_wtr, t.t_burst)]);
-    tab.row(vec!["memory controller".to_string(), "32-entry read + 32-entry write queue per core, 16-write batches".to_string()]);
-    tab.row(vec!["DL1 prefetch".to_string(), "stride prefetcher, 64 entries, distance 16".to_string()]);
-    tab.row(vec!["L2 prefetch".to_string(), "next-line prefetcher (baseline)".to_string()]);
+    tab.row(vec![
+        "IL1".to_string(),
+        format!("{}KB, {}-way LRU", c.core.il1_size >> 10, c.core.il1_ways),
+    ]);
+    tab.row(vec![
+        "DL1".to_string(),
+        format!(
+            "{}KB, {}-way LRU, {}-cycle lat.",
+            c.core.dl1_size >> 10,
+            c.core.dl1_ways,
+            c.core.dl1_latency
+        ),
+    ]);
+    tab.row(vec![
+        "L2 (private)".to_string(),
+        format!(
+            "{}KB, {}-way LRU, {}-cycle lat., {}-entry fill queue",
+            c.l2_size >> 10,
+            c.l2_ways,
+            c.l2_latency,
+            c.l2_fill_queue
+        ),
+    ]);
+    tab.row(vec![
+        "L3 (shared)".to_string(),
+        format!(
+            "{}MB, {}-way {}, {}-cycle lat., {}-entry fill queue",
+            c.l3_size >> 20,
+            c.l3_ways,
+            c.l3_policy.label(),
+            c.l3_latency,
+            c.l3_fill_queue
+        ),
+    ]);
+    tab.row(vec![
+        "L2 prefetch queue".to_string(),
+        format!("{} entries", c.prefetch_queue),
+    ]);
+    tab.row(vec![
+        "TLB entries".to_string(),
+        "ITLB1: 64, DTLB1: 64, TLB2: 512".to_string(),
+    ]);
+    tab.row(vec![
+        "memory".to_string(),
+        "2 channels, 1 controller/channel, 8 banks, FR-FCFS + steady/urgent".to_string(),
+    ]);
+    tab.row(vec![
+        "DDR3 param. (bus cycles)".to_string(),
+        format!(
+            "tCL={}, tRCD={}, tRP={}, tRAS={}, tCWL={}, tRTP={}, tWR={}, tWTR={}, tBURST={}",
+            t.t_cl, t.t_rcd, t.t_rp, t.t_ras, t.t_cwl, t.t_rtp, t.t_wr, t.t_wtr, t.t_burst
+        ),
+    ]);
+    tab.row(vec![
+        "memory controller".to_string(),
+        "32-entry read + 32-entry write queue per core, 16-write batches".to_string(),
+    ]);
+    tab.row(vec![
+        "DL1 prefetch".to_string(),
+        "stride prefetcher, 64 entries, distance 16".to_string(),
+    ]);
+    tab.row(vec![
+        "L2 prefetch".to_string(),
+        "next-line prefetcher (baseline)".to_string(),
+    ]);
     tab.row(vec!["page size".to_string(), "4KB / 4MB".to_string()]);
     tab.row(vec!["active cores".to_string(), "1 / 2 / 4".to_string()]);
     println!("# Table 1: baseline microarchitecture");

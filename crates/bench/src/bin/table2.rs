@@ -5,8 +5,14 @@ use bosim_stats::Table;
 fn main() {
     let c = BoConfig::default();
     let mut tab = Table::new(["parameter", "value"]);
-    tab.row(vec!["RR table entries".to_string(), format!("{}", c.rr_entries)]);
-    tab.row(vec!["RR tag bits".to_string(), format!("{}", c.rr_tag_bits)]);
+    tab.row(vec![
+        "RR table entries".to_string(),
+        format!("{}", c.rr_entries),
+    ]);
+    tab.row(vec![
+        "RR tag bits".to_string(),
+        format!("{}", c.rr_tag_bits),
+    ]);
     tab.row(vec!["SCOREMAX".to_string(), format!("{}", c.score_max)]);
     tab.row(vec!["ROUNDMAX".to_string(), format!("{}", c.round_max)]);
     tab.row(vec!["BADSCORE".to_string(), format!("{}", c.bad_score)]);

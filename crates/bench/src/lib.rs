@@ -1,9 +1,25 @@
-//! Shared harness code for the per-figure experiment binaries.
+//! Experiment harness for the per-figure binaries.
 //!
 //! Every binary regenerates one table or figure of *Best-Offset Hardware
-//! Prefetching* (HPCA 2016) and prints both a machine-readable TSV block
-//! and an aligned human-readable table, ending with the geometric-mean
-//! row the paper reports.
+//! Prefetching* (HPCA 2016) by declaring an [`Experiment`]: benchmarks ×
+//! labelled configuration arms, an optional per-arm baseline, a metric
+//! and a table layout. The harness owns job deduplication, worker
+//! threading, speedup pairing and structured [`Report`] output (TSV +
+//! aligned text on stdout, JSON under `target/reports/`).
+//!
+//! ```no_run
+//! use bosim::{prefetchers, SimConfig};
+//! use bosim_bench::six_baseline_speedup;
+//!
+//! six_baseline_speedup(
+//!     "fig06_bo_speedup",
+//!     "Figure 6: BO prefetcher speedup over next-line",
+//!     |page, cores| {
+//!         SimConfig::baseline(page, cores).with_prefetcher(prefetchers::bo_default())
+//!     },
+//! )
+//! .run_and_emit();
+//! ```
 //!
 //! Environment knobs (all optional):
 //!
@@ -11,13 +27,20 @@
 //! * `BOSIM_WARMUP` — warm-up instructions (default 200k),
 //! * `BOSIM_BENCHMARKS` — comma-separated short ids (default: all 29),
 //! * `BOSIM_THREADS` — worker threads (default: all cores),
-//! * `BOSIM_CONFIGS` — subset of the six baselines, e.g. `4KB/1,4MB/2`.
+//! * `BOSIM_CONFIGS` — subset of the six baselines, e.g. `4KB/1,4MB/2`,
+//! * `BOSIM_REPORT_DIR` — JSON report directory (default `target/reports`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bosim::{run_jobs, Job, SimConfig, SimResult};
-use bosim_stats::{geometric_mean, Align, Table};
+mod experiment;
+mod report;
+
+pub use experiment::{
+    six_baseline_gm_variants, six_baseline_speedup, Experiment, ExperimentError, Metric, VariantFn,
+};
+pub use report::{ArmReport, Layout, Report, RunSummary};
+
 use bosim_trace::{suite, BenchmarkSpec};
 use bosim_types::PageSize;
 
@@ -28,8 +51,7 @@ pub fn selected_benchmarks() -> Vec<BenchmarkSpec> {
         Ok(list) if !list.trim().is_empty() => list
             .split(',')
             .map(|id| {
-                suite::benchmark(id.trim())
-                    .unwrap_or_else(|| panic!("unknown benchmark id {id:?}"))
+                suite::benchmark(id.trim()).unwrap_or_else(|| panic!("unknown benchmark id {id:?}"))
             })
             .collect(),
         _ => suite::suite(),
@@ -70,187 +92,12 @@ pub fn cfg_label(page: PageSize, cores: usize) -> String {
     format!("{}/{}-core", page.label(), cores)
 }
 
-/// Runs the full grid `benchmarks × configs` in parallel, returning
-/// results grouped per config (outer) in input order (inner).
-pub fn run_grid(benchmarks: &[BenchmarkSpec], configs: &[SimConfig]) -> Vec<Vec<SimResult>> {
-    let mut jobs = Vec::new();
-    for cfg in configs {
-        for b in benchmarks {
-            jobs.push(Job {
-                bench: b.clone(),
-                config: cfg.clone(),
-            });
-        }
-    }
-    eprintln!(
-        "[bosim] running {} jobs on {} threads ({} instr + {} warmup each)",
-        jobs.len(),
-        threads(),
-        configs
-            .first()
-            .map(|c| c.measure_instructions)
-            .unwrap_or_default(),
-        configs.first().map(|c| c.warmup_instructions).unwrap_or_default(),
-    );
-    let t0 = std::time::Instant::now();
-    let results = run_jobs(&jobs, threads());
-    eprintln!("[bosim] grid done in {:.1}s", t0.elapsed().as_secs_f64());
-    results
-        .chunks(benchmarks.len())
-        .map(|c| c.to_vec())
-        .collect()
-}
-
-/// A figure expressed as per-benchmark rows of one value per series,
-/// printed with a trailing geometric-mean row (the paper's "GM" cluster).
-#[derive(Debug)]
-pub struct Figure {
-    title: String,
-    series: Vec<String>,
-    rows: Vec<(String, Vec<f64>)>,
-    /// Append a geometric-mean summary row.
-    pub with_gm: bool,
-    /// Decimal places.
-    pub decimals: usize,
-}
-
-impl Figure {
-    /// Creates a figure with named series (columns).
-    pub fn new(title: impl Into<String>, series: Vec<String>) -> Self {
-        Figure {
-            title: title.into(),
-            series,
-            rows: Vec::new(),
-            with_gm: true,
-            decimals: 3,
-        }
-    }
-
-    /// Adds a benchmark row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values` does not match the series count.
-    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) {
-        assert_eq!(values.len(), self.series.len(), "row width mismatch");
-        self.rows.push((label.into(), values));
-    }
-
-    /// Renders TSV + aligned table + GM row to stdout.
-    pub fn print(&self) {
-        println!("# {}", self.title);
-        let mut header = vec!["benchmark".to_string()];
-        header.extend(self.series.iter().cloned());
-        let mut t = Table::new(header);
-        let mut aligns = vec![Align::Left];
-        aligns.extend(std::iter::repeat(Align::Right).take(self.series.len()));
-        t.align(aligns);
-        for (label, vals) in &self.rows {
-            let mut cells = vec![label.clone()];
-            cells.extend(vals.iter().map(|v| format!("{v:.prec$}", prec = self.decimals)));
-            t.row(cells);
-        }
-        if self.with_gm && !self.rows.is_empty() {
-            let mut cells = vec!["GM".to_string()];
-            for s in 0..self.series.len() {
-                let gm = geometric_mean(self.rows.iter().map(|(_, v)| v[s]))
-                    .expect("non-empty rows");
-                cells.push(format!("{gm:.prec$}", prec = self.decimals));
-            }
-            t.row(cells);
-        }
-        print!("{}", t.to_tsv());
-        println!();
-        println!("{t}");
-    }
-}
-
-/// Computes per-benchmark speedups of `subject` over `baseline` result
-/// vectors (same benchmark order).
-pub fn speedup_column(subject: &[SimResult], baseline: &[SimResult]) -> Vec<f64> {
-    subject
-        .iter()
-        .zip(baseline)
-        .map(|(s, b)| {
-            assert_eq!(s.benchmark, b.benchmark);
-            s.ipc() / b.ipc()
-        })
-        .collect()
-}
-
 /// Short row label from a benchmark name: `"433.milc-like"` → `"433"`.
 pub fn short_label(name: &str) -> String {
     name.split('.').next().unwrap_or(name).to_string()
 }
 
-
-/// Renders a per-benchmark speedup figure (Figures 4, 5, 6 pattern): one
-/// series per §5 baseline configuration, each value the speedup of the
-/// subject configuration over the Table 1 baseline.
-pub fn per_benchmark_speedup_figure(
-    title: &str,
-    subject: impl Fn(PageSize, usize) -> SimConfig,
-) -> Figure {
-    let benches = selected_benchmarks();
-    let baselines = six_baselines();
-    let mut configs = Vec::new();
-    for &(page, cores) in &baselines {
-        configs.push(SimConfig::baseline(page, cores));
-        configs.push(subject(page, cores));
-    }
-    let grids = run_grid(&benches, &configs);
-    let series = baselines
-        .iter()
-        .map(|&(p, n)| cfg_label(p, n))
-        .collect::<Vec<_>>();
-    let mut fig = Figure::new(title, series);
-    for (bi, b) in benches.iter().enumerate() {
-        let mut vals = Vec::new();
-        for ci in 0..baselines.len() {
-            let base = &grids[ci * 2][bi];
-            let subj = &grids[ci * 2 + 1][bi];
-            vals.push(subj.ipc() / base.ipc());
-        }
-        fig.row(short_label(&b.name), vals);
-    }
-    fig
-}
-
-/// Renders a geometric-mean-only figure (Figures 7, 9, 10, 11 pattern):
-/// rows are the §5 baseline configurations, series are named variants.
-pub fn gm_variants_figure(
-    title: &str,
-    variants: &[(String, Box<dyn Fn(PageSize, usize) -> SimConfig>)],
-) -> Figure {
-    let benches = selected_benchmarks();
-    let baselines = six_baselines();
-    let mut configs = Vec::new();
-    for &(page, cores) in &baselines {
-        configs.push(SimConfig::baseline(page, cores));
-        for (_, make) in variants {
-            configs.push(make(page, cores));
-        }
-    }
-    let grids = run_grid(&benches, &configs);
-    let series: Vec<String> = variants.iter().map(|(n, _)| n.clone()).collect();
-    let stride = 1 + variants.len();
-    let mut fig = Figure::new(title, series);
-    fig.with_gm = false;
-    for (ci, &(page, cores)) in baselines.iter().enumerate() {
-        let base = &grids[ci * stride];
-        let mut vals = Vec::new();
-        for vi in 0..variants.len() {
-            let subj = &grids[ci * stride + 1 + vi];
-            let speedups = speedup_column(subj, base);
-            vals.push(geometric_mean(speedups).expect("non-empty suite"));
-        }
-        fig.row(cfg_label(page, cores), vals);
-    }
-    fig
-}
-
 #[cfg(test)]
-
 mod tests {
     use super::*;
 
@@ -263,19 +110,13 @@ mod tests {
     }
 
     #[test]
-    fn figure_prints_gm() {
-        let mut f = Figure::new("test", vec!["a".into()]);
-        f.row("429", vec![2.0]);
-        f.row("433", vec![8.0]);
-        // GM of [2, 8] = 4: verified via the summary math directly.
-        let gm = geometric_mean([2.0, 8.0]).unwrap();
-        assert!((gm - 4.0).abs() < 1e-12);
-        f.print();
-    }
-
-    #[test]
     fn short_labels() {
         assert_eq!(short_label("433.milc-like"), "433");
         assert_eq!(short_label("plain"), "plain");
+    }
+
+    #[test]
+    fn cfg_labels() {
+        assert_eq!(cfg_label(PageSize::K4, 2), "4KB/2-core");
     }
 }

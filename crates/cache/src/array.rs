@@ -62,7 +62,13 @@ impl CacheArray {
     ///
     /// Panics unless `size_bytes / (64 * ways)` is a power of two of at
     /// least one set.
-    pub fn new(size_bytes: u64, ways: usize, policy: PolicyKind, num_cores: usize, seed: u64) -> Self {
+    pub fn new(
+        size_bytes: u64,
+        ways: usize,
+        policy: PolicyKind,
+        num_cores: usize,
+        seed: u64,
+    ) -> Self {
         assert!(ways >= 1);
         let sets = (size_bytes / (64 * ways as u64)) as usize;
         assert!(sets >= 1, "cache too small");
@@ -168,10 +174,7 @@ impl CacheArray {
         dirty: bool,
         ctx: InsertCtx,
     ) -> Option<Evicted> {
-        debug_assert!(
-            !self.contains(line),
-            "duplicate insertion of {line}"
-        );
+        debug_assert!(!self.contains(line), "duplicate insertion of {line}");
         let set = self.set_of(line);
         let base = set * self.ways;
         // Prefer an invalid way; otherwise ask the policy for a victim.
@@ -182,8 +185,7 @@ impl CacheArray {
                     .policy
                     .victim(set, &mut self.repl_state[base..base + self.ways]);
                 let m = self.meta[self.idx(set, w)];
-                let victim_line =
-                    LineAddr((m.tag << self.sets.trailing_zeros()) | set as u64);
+                let victim_line = LineAddr((m.tag << self.sets.trailing_zeros()) | set as u64);
                 (
                     w,
                     Some(Evicted {
@@ -244,7 +246,7 @@ impl CacheArray {
 mod tests {
     use super::*;
     use bosim_types::CoreId;
-    use proptest::prelude::*;
+    use bosim_types::SplitMix64;
 
     fn ctx() -> InsertCtx {
         InsertCtx {
@@ -292,7 +294,7 @@ mod tests {
     #[test]
     fn eviction_reconstructs_line_address() {
         let mut c = small_cache(); // 4 sets, 2 ways
-        // Three lines mapping to set 0: 0, 4, 8 (line addr % 4 == 0).
+                                   // Three lines mapping to set 0: 0, 4, 8 (line addr % 4 == 0).
         c.insert(LineAddr(0), false, true, ctx());
         c.insert(LineAddr(4), false, false, ctx());
         let ev = c.insert(LineAddr(8), false, false, ctx()).unwrap();
@@ -329,43 +331,78 @@ mod tests {
         assert_eq!(c.invalidate(LineAddr(0)), None);
     }
 
-    proptest! {
-        /// No duplicate lines, occupancy bounded by capacity, and every
-        /// line inserted is either resident or was evicted exactly once.
-        #[test]
-        fn prop_no_duplicates_and_bounded(ops in proptest::collection::vec(0u64..64, 1..300)) {
+    /// No duplicate lines, occupancy bounded by capacity, and every
+    /// line inserted is either resident or was evicted exactly once.
+    /// (Deterministic pseudo-random workloads; formerly a proptest.)
+    #[test]
+    fn prop_no_duplicates_and_bounded() {
+        let mut rng = SplitMix64::new(0xA11CE);
+        for case in 0..64u64 {
             let mut c = CacheArray::new(1024, 2, PolicyKind::Lru, 1, 7); // 8 sets x 2
             let mut resident: std::collections::HashSet<u64> = Default::default();
-            for line in ops {
+            for _ in 0..(case % 300) + 1 {
+                let line = rng.next_u64() % 64;
                 let l = LineAddr(line);
                 if c.access(l, false).is_none() {
-                    let ev = c.insert(l, false, false, InsertCtx { demand: true, core: CoreId(0) });
+                    let ev = c.insert(
+                        l,
+                        false,
+                        false,
+                        InsertCtx {
+                            demand: true,
+                            core: CoreId(0),
+                        },
+                    );
                     if let Some(e) = ev {
-                        prop_assert!(resident.remove(&e.line.0), "evicted non-resident {:?}", e.line);
+                        assert!(
+                            resident.remove(&e.line.0),
+                            "evicted non-resident {:?}",
+                            e.line
+                        );
                     }
-                    prop_assert!(resident.insert(line));
+                    assert!(resident.insert(line));
                 } else {
-                    prop_assert!(resident.contains(&line));
+                    assert!(resident.contains(&line));
                 }
-                prop_assert!(c.occupancy() <= 16);
-                prop_assert_eq!(c.occupancy(), resident.len());
+                assert!(c.occupancy() <= 16);
+                assert_eq!(c.occupancy(), resident.len());
             }
         }
+    }
 
-        /// The same workload under any policy keeps the "no duplicates"
-        /// invariant (the policies differ only in *which* line they evict).
-        #[test]
-        fn prop_all_policies_keep_invariants(ops in proptest::collection::vec(0u64..128, 1..200),
-                                             pol in 0usize..5) {
-            let kind = [PolicyKind::Lru, PolicyKind::Bip, PolicyKind::Dip,
-                        PolicyKind::Drrip, PolicyKind::FiveP][pol];
-            let mut c = CacheArray::new(2048, 4, kind, 4, 11); // 8 sets x 4
-            for line in ops {
-                let l = LineAddr(line);
-                if c.access(l, false).is_none() {
-                    c.insert(l, false, false, InsertCtx { demand: true, core: CoreId((line % 4) as u8) });
+    /// The same workload under any policy keeps the "no duplicates"
+    /// invariant (the policies differ only in *which* line they evict).
+    #[test]
+    fn prop_all_policies_keep_invariants() {
+        let mut rng = SplitMix64::new(0xBEEF);
+        for (pi, kind) in [
+            PolicyKind::Lru,
+            PolicyKind::Bip,
+            PolicyKind::Dip,
+            PolicyKind::Drrip,
+            PolicyKind::FiveP,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for case in 0..24u64 {
+                let mut c = CacheArray::new(2048, 4, kind, 4, 11); // 8 sets x 4
+                for _ in 0..(case * 7 + pi as u64) % 200 + 1 {
+                    let line = rng.next_u64() % 128;
+                    let l = LineAddr(line);
+                    if c.access(l, false).is_none() {
+                        c.insert(
+                            l,
+                            false,
+                            false,
+                            InsertCtx {
+                                demand: true,
+                                core: CoreId((line % 4) as u8),
+                            },
+                        );
+                    }
+                    assert!(c.contains(l), "line must be resident after fill");
                 }
-                prop_assert!(c.contains(l), "line must be resident after fill");
             }
         }
     }

@@ -121,7 +121,10 @@ impl<T> FillQueue<T> {
     /// queue entry is released, and the L1/L2 miss request becomes an
     /// L1/L2/L3 miss request"). Returns the payload.
     pub fn release(&mut self, line: LineAddr) -> Option<FillEntry<T>> {
-        let pos = self.entries.iter().position(|e| e.line == line && !e.ready)?;
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.line == line && !e.ready)?;
         self.entries.remove(pos)
     }
 

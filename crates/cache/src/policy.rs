@@ -152,7 +152,7 @@ impl Dip {
     /// Leader-set mapping: one LRU leader and one BIP leader per 32 sets.
     fn leader(&self, set: usize) -> Option<bool> {
         match set % 32 {
-            0 => Some(true),  // LRU leader
+            0 => Some(true),   // LRU leader
             16 => Some(false), // BIP leader
             _ => None,
         }
@@ -219,7 +219,7 @@ impl Drrip {
 
     fn leader(&self, set: usize) -> Option<bool> {
         match set % 32 {
-            0 => Some(true),  // SRRIP leader
+            0 => Some(true),   // SRRIP leader
             16 => Some(false), // BRRIP leader
             _ => None,
         }
@@ -259,14 +259,10 @@ impl ReplacementPolicy for Drrip {
                 None => {}
             }
         }
-        let srrip = self.use_srrip(set);
-        state[way] = if srrip {
-            RRPV_MAX - 1
-        } else if self.rng.chance(1, 32) {
-            RRPV_MAX - 1
-        } else {
-            RRPV_MAX
-        };
+        // SRRIP leader/follower sets insert near-immediate; BRRIP sets
+        // do so only with probability 1/32.
+        let near = self.use_srrip(set) || self.rng.chance(1, 32);
+        state[way] = if near { RRPV_MAX - 1 } else { RRPV_MAX };
     }
 
     fn name(&self) -> &'static str {

@@ -345,8 +345,7 @@ mod tests {
     #[test]
     fn sequential_stream_learns_an_offset() {
         let mut p = bo();
-        let mut line = 1_000u64;
-        for _ in 0..40_000 {
+        for line in 1_000u64..41_000 {
             let reqs = access(&mut p, line);
             // Simulate timely completion: requested prefetches fill the
             // L2 (still flagged as prefetches) before the stream reaches
@@ -354,7 +353,6 @@ mod tests {
             for r in reqs {
                 p.on_fill(r, true);
             }
-            line += 1;
         }
         assert!(p.is_prefetching());
         assert!(p.stats().phases > 0, "at least one phase completed");
@@ -393,7 +391,9 @@ mod tests {
         let mut x = 0x9E3779B97F4A7C15u64;
         let total_steps = 52 * 101; // > ROUNDMAX rounds
         for _ in 0..total_steps {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = x >> 20; // scattered lines
             let reqs = access(&mut p, line);
             for r in reqs {
@@ -423,8 +423,7 @@ mod tests {
         }
         assert!(!p.is_prefetching());
         // Phase 2: sequential stream; fills feed the RR table with D=0.
-        let mut line = 500_000u64;
-        for _ in 0..52 * 40 {
+        for line in 500_000u64..500_000 + 52 * 40 {
             let reqs = access(&mut p, line);
             for r in reqs {
                 p.on_fill(r, true);
@@ -432,7 +431,6 @@ mod tests {
             // While prefetch is off nothing is issued; the demand fill
             // itself reaches the L2:
             p.on_fill(LineAddr(line), false);
-            line += 1;
         }
         assert!(p.is_prefetching(), "prefetch must re-enable");
     }
@@ -459,8 +457,10 @@ mod tests {
 
     #[test]
     fn fill_when_off_inserts_base_with_d0() {
-        let mut cfg = BoConfig::default();
-        cfg.round_max = 1; // single-round phases for fast control
+        let cfg = BoConfig {
+            round_max: 1, // single-round phases for fast control
+            ..Default::default()
+        };
         let mut p = BestOffsetPrefetcher::new(cfg, PageSize::M4);
         // Burn one full round with non-matching accesses: phase ends with
         // best score 0 -> off.
@@ -478,8 +478,10 @@ mod tests {
 
     #[test]
     fn degree_2_issues_two_distinct_offsets() {
-        let mut cfg = BoConfig::default();
-        cfg.degree = 2;
+        let cfg = BoConfig {
+            degree: 2,
+            ..Default::default()
+        };
         let mut p = BestOffsetPrefetcher::new(cfg, PageSize::M4);
         // Period-2 stream: multiples of 2 all score; best and runner-up
         // are distinct even offsets.
@@ -502,8 +504,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn degree_3_is_rejected() {
-        let mut cfg = BoConfig::default();
-        cfg.degree = 3;
+        let cfg = BoConfig {
+            degree: 3,
+            ..Default::default()
+        };
         let _ = BestOffsetPrefetcher::new(cfg, PageSize::M4);
     }
 

@@ -104,7 +104,7 @@ impl RrTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use bosim_types::SplitMix64;
 
     #[test]
     fn paper_default_geometry() {
@@ -176,27 +176,38 @@ mod tests {
         assert_eq!(t.stats(), (1, 2, 1));
     }
 
-    proptest! {
-        /// Immediately after inserting a line, looking it up always hits
-        /// (no false negatives).
-        #[test]
-        fn prop_no_false_negative(line in 0u64..(1 << 40), size_pow in 5u32..10) {
+    /// Immediately after inserting a line, looking it up always hits
+    /// (no false negatives). Deterministic pseudo-random cases.
+    #[test]
+    fn prop_no_false_negative() {
+        let mut rng = SplitMix64::new(7);
+        for case in 0..256u64 {
+            let size_pow = 5 + (case % 5) as u32;
             let mut t = RrTable::new(1 << size_pow, 12);
-            let l = LineAddr(line);
+            let l = LineAddr(rng.next_u64() % (1 << 40));
             t.insert(l);
-            prop_assert!(t.contains(l));
+            assert!(t.contains(l), "{l:?} size 2^{size_pow}");
         }
+    }
 
-        /// Insertions only ever affect one slot: a second insert with a
-        /// different index never evicts the first.
-        #[test]
-        fn prop_distinct_index_no_evict(a in 0u64..(1 << 30), b in 0u64..(1 << 30)) {
+    /// Insertions only ever affect one slot: a second insert with a
+    /// different index never evicts the first.
+    #[test]
+    fn prop_distinct_index_no_evict() {
+        let mut rng = SplitMix64::new(11);
+        let mut checked = 0;
+        while checked < 128 {
+            let a = rng.next_u64() % (1 << 30);
+            let b = rng.next_u64() % (1 << 30);
             let mut t = RrTable::new(256, 12);
-            prop_assume!(t.index(LineAddr(a)) != t.index(LineAddr(b)));
+            if t.index(LineAddr(a)) == t.index(LineAddr(b)) {
+                continue;
+            }
+            checked += 1;
             t.insert(LineAddr(a));
             t.insert(LineAddr(b));
-            prop_assert!(t.contains(LineAddr(a)));
-            prop_assert!(t.contains(LineAddr(b)));
+            assert!(t.contains(LineAddr(a)));
+            assert!(t.contains(LineAddr(b)));
         }
     }
 }

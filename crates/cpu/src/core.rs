@@ -364,10 +364,7 @@ impl Core {
         // load (the walk result is kept, so a retry must not re-probe —
         // concurrent loads with set-conflicting VPNs would otherwise
         // evict each other's entries forever).
-        let translated = self
-            .entry_mut(seq)
-            .map(|e| e.translated)
-            .unwrap_or(true);
+        let translated = self.entry_mut(seq).map(|e| e.translated).unwrap_or(true);
         if !translated {
             if let Some(e) = self.entry_mut(seq) {
                 e.translated = true;
@@ -376,7 +373,8 @@ impl Core {
                 .tlbs
                 .data_penalty(va.page_number(self.translator.page_size()));
             if penalty > 0 {
-                self.events.push(Reverse((now + penalty, seq, EV_LOAD_ISSUE)));
+                self.events
+                    .push(Reverse((now + penalty, seq, EV_LOAD_ISSUE)));
                 return;
             }
         }
@@ -504,7 +502,9 @@ impl Core {
             return;
         };
         let va = VirtAddr(vaddr);
-        let penalty = self.tlbs.data_penalty(va.page_number(self.translator.page_size()));
+        let penalty = self
+            .tlbs
+            .data_penalty(va.page_number(self.translator.page_size()));
         let _ = penalty; // committed stores absorb translation latency
         let line = self.translator.translate(va);
         let _ = pc;

@@ -42,7 +42,7 @@ impl Folded {
 #[derive(Debug, Clone, Copy, Default)]
 struct TaggedEntry {
     tag: u16,
-    ctr: i8,  // 3-bit signed counter, -4..=3; >= 0 predicts taken
+    ctr: i8,    // 3-bit signed counter, -4..=3; >= 0 predicts taken
     useful: u8, // 2-bit usefulness
 }
 
@@ -155,9 +155,7 @@ impl Tage {
 
     #[inline]
     fn table_tag(&self, pc: u64, t: usize) -> u16 {
-        let tag = (pc >> 2) as u32
-            ^ self.folded_tag0[t].value
-            ^ (self.folded_tag1[t].value << 1);
+        let tag = (pc >> 2) as u32 ^ self.folded_tag0[t].value ^ (self.folded_tag1[t].value << 1);
         (tag & ((1 << self.cfg.tag_bits) - 1)) as u16
     }
 
@@ -251,7 +249,10 @@ impl Tage {
         // Allocation on misprediction: claim an entry in a longer table.
         if !correct {
             let start = provider.map(|p| p + 1).unwrap_or(0);
-            self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.rng_state = self
+                .rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1);
             let skip = (self.rng_state >> 60) & 1; // light randomisation
             let mut allocated = false;
             let mut t = start + skip as usize;
@@ -307,8 +308,8 @@ impl Tage {
 /// history-indexed tables.
 #[derive(Debug)]
 pub struct Ittage {
-    base: Vec<(u32, u64)>,          // (partial pc tag, target)
-    tagged: Vec<Vec<(u32, u64)>>,   // per-table (tag, target)
+    base: Vec<(u32, u64)>,        // (partial pc tag, target)
+    tagged: Vec<Vec<(u32, u64)>>, // per-table (tag, target)
     hist: u64,
     predictions: u64,
     mispredictions: u64,
@@ -422,7 +423,10 @@ mod tests {
                 wrong_late += 1;
             }
         }
-        assert!(wrong_late < 200, "period-4 pattern: {wrong_late} late errors");
+        assert!(
+            wrong_late < 200,
+            "period-4 pattern: {wrong_late} late errors"
+        );
     }
 
     #[test]
@@ -458,7 +462,10 @@ mod tests {
                 wrong_late += (!c1) as u32 + (!c2) as u32;
             }
         }
-        assert!(wrong_late < 60, "{wrong_late} late errors on two biased PCs");
+        assert!(
+            wrong_late < 60,
+            "{wrong_late} late errors on two biased PCs"
+        );
     }
 
     #[test]

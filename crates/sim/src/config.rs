@@ -1,47 +1,39 @@
 //! Simulation configurations (Table 1 and §5 variants).
+//!
+//! [`SimConfig`] describes one full machine. Construct it either from the
+//! paper's defaults ([`SimConfig::default`], [`SimConfig::baseline`]) or
+//! through the validating [`SimConfig::builder`]:
+//!
+//! ```
+//! use bosim::{prefetchers, SimConfig};
+//! use bosim_types::PageSize;
+//!
+//! let cfg = SimConfig::builder()
+//!     .page(PageSize::M4)
+//!     .cores(2)
+//!     .prefetcher(prefetchers::bo_default())
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(cfg.label(), "4MB/2-core/BO");
+//! ```
 
-use best_offset::BoConfig;
-use bosim_baselines::{AmpmConfig, SbpConfig};
+use crate::spec::{prefetchers, PrefetcherHandle};
 use bosim_cache::policy::PolicyKind;
 use bosim_cpu::CoreConfig;
 use bosim_types::PageSize;
+use std::fmt;
 
-/// Which L2 prefetcher a run uses.
-#[derive(Debug, Clone)]
-pub enum L2PrefetcherKind {
-    /// No L2 prefetching (Figure 5's comparison point).
-    None,
-    /// Next-line prefetching — the paper's default baseline (§5.6).
-    NextLine,
-    /// A constant offset (Figures 7 and 8).
-    Fixed(i64),
-    /// The Best-Offset prefetcher (§4).
-    Bo(BoConfig),
-    /// The Sandbox prefetcher (§6.3).
-    Sbp(SbpConfig),
-    /// AMPM-lite (extension; the DPC-1 winner referenced in §2).
-    Ampm(AmpmConfig),
-}
-
-impl L2PrefetcherKind {
-    /// Short label for reports.
-    pub fn label(&self) -> String {
-        match self {
-            L2PrefetcherKind::None => "no-prefetch".into(),
-            L2PrefetcherKind::NextLine => "next-line".into(),
-            L2PrefetcherKind::Fixed(d) => format!("offset-{d}"),
-            L2PrefetcherKind::Bo(_) => "BO".into(),
-            L2PrefetcherKind::Sbp(_) => "SBP".into(),
-            L2PrefetcherKind::Ampm(_) => "AMPM".into(),
-        }
-    }
-}
+/// Most cores a [`System`](crate::System) can simulate (§5 evaluates up
+/// to four active cores).
+pub const MAX_CORES: usize = 4;
 
 /// One full-system simulation configuration.
 ///
 /// `Default` is the paper's baseline (Table 1): 4KB pages, one active
 /// core, L2 next-line prefetching, 5P L3 replacement, DL1 stride
-/// prefetcher on.
+/// prefetcher on. Field access is public for introspection; prefer
+/// [`SimConfig::builder`] for constructing variants, since it validates
+/// the parameters the hardware model assumes.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Memory page size (4KB or 4MB).
@@ -50,7 +42,7 @@ pub struct SimConfig {
     /// cache-thrashing micro-benchmark.
     pub active_cores: usize,
     /// The L2 prefetcher under evaluation.
-    pub l2_prefetcher: L2PrefetcherKind,
+    pub l2_prefetcher: PrefetcherHandle,
     /// L3 replacement policy (baseline: 5P; Figure 3 uses LRU/DRRIP).
     pub l3_policy: PolicyKind,
     /// DL1 stride prefetcher enabled (Figure 4 disables it).
@@ -88,7 +80,7 @@ impl Default for SimConfig {
         SimConfig {
             page: PageSize::K4,
             active_cores: 1,
-            l2_prefetcher: L2PrefetcherKind::NextLine,
+            l2_prefetcher: prefetchers::next_line(),
             l3_policy: PolicyKind::FiveP,
             dl1_stride: true,
             core: CoreConfig::default(),
@@ -109,6 +101,11 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Starts a validating builder from the Table 1 defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
     /// Baseline for a page size and core count (the paper's six
     /// baselines, §5).
     pub fn baseline(page: PageSize, active_cores: usize) -> Self {
@@ -120,8 +117,8 @@ impl SimConfig {
     }
 
     /// Returns a copy with a different L2 prefetcher.
-    pub fn with_prefetcher(mut self, p: L2PrefetcherKind) -> Self {
-        self.l2_prefetcher = p;
+    pub fn with_prefetcher(mut self, p: impl Into<PrefetcherHandle>) -> Self {
+        self.l2_prefetcher = p.into();
         self
     }
 
@@ -131,8 +128,229 @@ impl SimConfig {
             "{}/{}-core/{}",
             self.page.label(),
             self.active_cores,
-            self.l2_prefetcher.label()
+            self.l2_prefetcher.name()
         )
+    }
+
+    /// Validates the configuration against the constraints the hardware
+    /// model assumes (also run by [`SimConfigBuilder::build`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.active_cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if self.active_cores > MAX_CORES {
+            return Err(ConfigError::TooManyCores {
+                requested: self.active_cores,
+            });
+        }
+        for (cache, size, ways) in [
+            ("IL1", self.core.il1_size, self.core.il1_ways),
+            ("DL1", self.core.dl1_size, self.core.dl1_ways),
+            ("L2", self.l2_size, self.l2_ways),
+            ("L3", self.l3_size, self.l3_ways),
+        ] {
+            if ways == 0 {
+                return Err(ConfigError::ZeroWays { cache });
+            }
+            let sets = size / (64 * ways as u64);
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(ConfigError::BadSetCount { cache, sets });
+            }
+        }
+        for (queue, len) in [
+            ("L2 fill queue", self.l2_fill_queue),
+            ("L2 prefetch queue", self.prefetch_queue),
+            ("L3 fill queue", self.l3_fill_queue),
+        ] {
+            if len == 0 {
+                return Err(ConfigError::EmptyQueue { queue });
+            }
+        }
+        if self.measure_instructions == 0 {
+            return Err(ConfigError::ZeroInstructions);
+        }
+        Ok(())
+    }
+}
+
+/// A constraint violated by a [`SimConfig`] (returned by
+/// [`SimConfigBuilder::build`] and [`SimConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `active_cores` was 0 — core 0 must run the benchmark.
+    ZeroCores,
+    /// `active_cores` exceeded [`MAX_CORES`].
+    TooManyCores {
+        /// The requested core count.
+        requested: usize,
+    },
+    /// A cache was configured with zero ways.
+    ZeroWays {
+        /// Which cache ("IL1", "DL1", "L2" or "L3").
+        cache: &'static str,
+    },
+    /// A cache's derived set count was zero or not a power of two.
+    BadSetCount {
+        /// Which cache ("IL1", "DL1", "L2" or "L3").
+        cache: &'static str,
+        /// The derived set count (`size / (64 * ways)`).
+        sets: u64,
+    },
+    /// A queue was configured with zero entries.
+    EmptyQueue {
+        /// Which queue.
+        queue: &'static str,
+    },
+    /// The measured window was zero instructions long.
+    ZeroInstructions,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCores => write!(f, "active_cores must be at least 1"),
+            ConfigError::TooManyCores { requested } => {
+                write!(
+                    f,
+                    "active_cores {requested} exceeds the maximum of {MAX_CORES}"
+                )
+            }
+            ConfigError::ZeroWays { cache } => write!(f, "{cache} needs at least one way"),
+            ConfigError::BadSetCount { cache, sets } => write!(
+                f,
+                "{cache} set count {sets} invalid: size / (64 * ways) must be a power of two >= 1"
+            ),
+            ConfigError::EmptyQueue { queue } => write!(f, "{queue} needs at least one entry"),
+            ConfigError::ZeroInstructions => {
+                write!(f, "measure_instructions must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`SimConfig`] (see [`SimConfig::builder`]).
+///
+/// Starts from the Table 1 defaults; every setter overrides one
+/// parameter, and [`build`](Self::build) validates the result.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Memory page size.
+    pub fn page(mut self, page: PageSize) -> Self {
+        self.cfg.page = page;
+        self
+    }
+
+    /// Active core count (1..=[`MAX_CORES`]).
+    pub fn cores(mut self, active_cores: usize) -> Self {
+        self.cfg.active_cores = active_cores;
+        self
+    }
+
+    /// The L2 prefetcher under evaluation.
+    pub fn prefetcher(mut self, p: impl Into<PrefetcherHandle>) -> Self {
+        self.cfg.l2_prefetcher = p.into();
+        self
+    }
+
+    /// L3 replacement policy.
+    pub fn l3_policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.l3_policy = policy;
+        self
+    }
+
+    /// Enables or disables the DL1 stride prefetcher.
+    pub fn dl1_stride(mut self, enabled: bool) -> Self {
+        self.cfg.dl1_stride = enabled;
+        self
+    }
+
+    /// Core parameters.
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.cfg.core = core;
+        self
+    }
+
+    /// L2 geometry: capacity in bytes and associativity.
+    pub fn l2_geometry(mut self, size_bytes: u64, ways: usize) -> Self {
+        self.cfg.l2_size = size_bytes;
+        self.cfg.l2_ways = ways;
+        self
+    }
+
+    /// L2 lookup latency in cycles.
+    pub fn l2_latency(mut self, cycles: u64) -> Self {
+        self.cfg.l2_latency = cycles;
+        self
+    }
+
+    /// L2 fill-queue entries.
+    pub fn l2_fill_queue(mut self, entries: usize) -> Self {
+        self.cfg.l2_fill_queue = entries;
+        self
+    }
+
+    /// L2 prefetch-queue entries.
+    pub fn prefetch_queue(mut self, entries: usize) -> Self {
+        self.cfg.prefetch_queue = entries;
+        self
+    }
+
+    /// L3 geometry: capacity in bytes and associativity.
+    pub fn l3_geometry(mut self, size_bytes: u64, ways: usize) -> Self {
+        self.cfg.l3_size = size_bytes;
+        self.cfg.l3_ways = ways;
+        self
+    }
+
+    /// L3 lookup latency in cycles.
+    pub fn l3_latency(mut self, cycles: u64) -> Self {
+        self.cfg.l3_latency = cycles;
+        self
+    }
+
+    /// L3 fill-queue entries.
+    pub fn l3_fill_queue(mut self, entries: usize) -> Self {
+        self.cfg.l3_fill_queue = entries;
+        self
+    }
+
+    /// Warm-up instructions before the measured window.
+    pub fn warmup(mut self, instructions: u64) -> Self {
+        self.cfg.warmup_instructions = instructions;
+        self
+    }
+
+    /// Measured instructions on core 0.
+    pub fn instructions(mut self, instructions: u64) -> Self {
+        self.cfg.measure_instructions = instructions;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -172,15 +390,95 @@ mod tests {
         assert_eq!(c.l3_latency, 21);
         assert_eq!(c.l3_fill_queue, 32);
         assert_eq!(c.prefetch_queue, 8);
-        assert!(matches!(c.l2_prefetcher, L2PrefetcherKind::NextLine));
+        assert_eq!(c.l2_prefetcher.name(), "next-line");
         assert_eq!(c.l3_policy, PolicyKind::FiveP);
         assert!(c.dl1_stride);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
     fn labels() {
-        let c = SimConfig::baseline(PageSize::M4, 2)
-            .with_prefetcher(L2PrefetcherKind::Fixed(5));
+        let c = SimConfig::baseline(PageSize::M4, 2).with_prefetcher(prefetchers::fixed(5));
         assert_eq!(c.label(), "4MB/2-core/offset-5");
+    }
+
+    #[test]
+    fn builder_round_trips_table1() {
+        let c = SimConfig::builder().build().expect("defaults are valid");
+        assert_eq!(c.label(), SimConfig::default().label());
+    }
+
+    #[test]
+    fn builder_rejects_zero_cores() {
+        assert_eq!(
+            SimConfig::builder().cores(0).build().unwrap_err(),
+            ConfigError::ZeroCores
+        );
+    }
+
+    #[test]
+    fn builder_rejects_too_many_cores() {
+        assert_eq!(
+            SimConfig::builder().cores(5).build().unwrap_err(),
+            ConfigError::TooManyCores { requested: 5 }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_way_caches() {
+        assert_eq!(
+            SimConfig::builder()
+                .l2_geometry(512 << 10, 0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWays { cache: "L2" }
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .l3_geometry(8 << 20, 0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWays { cache: "L3" }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_way_l1_caches() {
+        let core = CoreConfig {
+            dl1_ways: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            SimConfig::builder().core(core).build().unwrap_err(),
+            ConfigError::ZeroWays { cache: "DL1" }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_non_power_of_two_sets() {
+        let err = SimConfig::builder()
+            .l2_geometry(3 * 64 * 8, 8)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BadSetCount {
+                cache: "L2",
+                sets: 3
+            }
+        );
+        assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn builder_rejects_empty_queues_and_window() {
+        assert!(matches!(
+            SimConfig::builder().l2_fill_queue(0).build().unwrap_err(),
+            ConfigError::EmptyQueue { .. }
+        ));
+        assert_eq!(
+            SimConfig::builder().instructions(0).build().unwrap_err(),
+            ConfigError::ZeroInstructions
+        );
     }
 }

@@ -8,28 +8,49 @@
 //! (§5.4), and a dual-channel DDR3 memory system with FR-FCFS scheduling
 //! and fairness counters (§5.3).
 //!
+//! Machine configurations are built with the validating
+//! [`SimConfig::builder`]; the L2 prefetcher slot is *open*: anything
+//! implementing [`PrefetcherSpec`] plugs in, and the built-in specs are
+//! available through the [`prefetchers`] constructors or by name from the
+//! [`registry`].
+//!
 //! # Examples
 //!
 //! ```no_run
-//! use bosim::{SimConfig, L2PrefetcherKind, System};
+//! use bosim::{prefetchers, SimConfig, System};
 //! use bosim_trace::suite;
 //!
 //! let spec = suite::benchmark("462").expect("libquantum-like");
-//! let cfg = SimConfig::default()
-//!     .with_prefetcher(L2PrefetcherKind::Bo(Default::default()));
+//! let cfg = SimConfig::builder()
+//!     .prefetcher(prefetchers::bo_default())
+//!     .build()
+//!     .expect("Table 1 defaults with BO are valid");
 //! let result = System::new(&cfg, &spec).run();
 //! println!("{}: IPC {:.3}", result.benchmark, result.ipc());
 //! ```
+//!
+//! Prefetchers are registered from outside this crate by implementing
+//! [`PrefetcherSpec`] and calling [`registry()`]`.register(..)` — see the
+//! [`registry`] module docs for a complete third-party example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+mod registry;
 mod runner;
+mod spec;
 mod system;
 mod uncore;
 
-pub use config::{default_instructions, default_warmup, L2PrefetcherKind, SimConfig};
-pub use runner::{default_threads, run_job, run_jobs, speedups, Job};
+pub use config::{
+    default_instructions, default_warmup, ConfigError, SimConfig, SimConfigBuilder, MAX_CORES,
+};
+pub use registry::{registry, PrefetcherRegistry, PrefetcherResolver};
+pub use runner::{default_threads, run_job, run_jobs, speedups, Job, RunnerError};
+pub use spec::{
+    prefetchers, AmpmSpec, BoSpec, FixedOffsetSpec, NextLineSpec, NoPrefetchSpec, PrefetcherHandle,
+    PrefetcherSpec, SbpSpec,
+};
 pub use system::{SimResult, System};
 pub use uncore::{Uncore, UncoreStats};

@@ -1,0 +1,194 @@
+//! By-name discovery of prefetcher specs.
+//!
+//! The registry maps prefetcher names (as used in reports and on the
+//! `BOSIM_PREFETCHER`-style command lines of the harness binaries) to
+//! [`PrefetcherHandle`]s. The six built-in prefetchers are pre-registered;
+//! third-party crates add their own with [`PrefetcherRegistry::register`]
+//! — no change to `bosim-sim` required:
+//!
+//! ```
+//! use bosim::{registry, PrefetcherHandle, PrefetcherSpec, SimConfig};
+//! use best_offset::{L2Prefetcher, NullPrefetcher};
+//!
+//! #[derive(Debug)]
+//! struct MySpec;
+//! impl PrefetcherSpec for MySpec {
+//!     fn name(&self) -> String { "mine".into() }
+//!     fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+//!         Box::new(NullPrefetcher::new(cfg.page))
+//!     }
+//! }
+//!
+//! registry().register("mine", PrefetcherHandle::new(MySpec));
+//! assert!(registry().lookup("mine").is_some());
+//! ```
+//!
+//! Parameterised families (like the fixed-offset prefetchers) register a
+//! *resolver* instead of a single name: a function that parses names such
+//! as `"offset-12"` into a handle.
+
+use crate::spec::{prefetchers, PrefetcherHandle};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A name-pattern resolver: returns a handle when it recognises `name`.
+pub type PrefetcherResolver = Arc<dyn Fn(&str) -> Option<PrefetcherHandle> + Send + Sync>;
+
+#[derive(Default)]
+struct Entries {
+    named: Vec<(String, PrefetcherHandle)>,
+    resolvers: Vec<(String, PrefetcherResolver)>,
+}
+
+/// The open prefetcher registry (see the [module docs](self)).
+///
+/// Lookups are case-insensitive. Exact names take precedence over
+/// resolvers; within each group, the most recent registration wins, so a
+/// re-registration overrides an earlier one.
+pub struct PrefetcherRegistry {
+    entries: Mutex<Entries>,
+}
+
+impl PrefetcherRegistry {
+    fn with_builtins() -> Self {
+        let reg = PrefetcherRegistry {
+            entries: Mutex::new(Entries::default()),
+        };
+        reg.register("none", prefetchers::none());
+        reg.register("no-prefetch", prefetchers::none());
+        reg.register("next-line", prefetchers::next_line());
+        reg.register("offset-1", prefetchers::fixed(1));
+        reg.register("bo", prefetchers::bo_default());
+        reg.register("sbp", prefetchers::sbp_default());
+        reg.register("ampm", prefetchers::ampm_default());
+        reg.register_resolver(
+            "offset-<D>",
+            Arc::new(|name| {
+                let d: i64 = name.strip_prefix("offset-")?.parse().ok()?;
+                (d != 0).then(|| prefetchers::fixed(d))
+            }),
+        );
+        reg
+    }
+
+    /// Registers `handle` under `name` (case-insensitive). A later
+    /// registration under the same name replaces the earlier one.
+    pub fn register(&self, name: &str, handle: PrefetcherHandle) {
+        let key = name.to_ascii_lowercase();
+        let mut e = self.entries.lock().expect("registry poisoned");
+        e.named.retain(|(n, _)| *n != key);
+        e.named.push((key, handle));
+    }
+
+    /// Registers a resolver for a parameterised name family. `pattern` is
+    /// purely documentation (shown by [`names`](Self::names)).
+    pub fn register_resolver(&self, pattern: &str, resolver: PrefetcherResolver) {
+        let mut e = self.entries.lock().expect("registry poisoned");
+        e.resolvers.push((pattern.to_string(), resolver));
+    }
+
+    /// Finds a handle by name: exact (case-insensitive) matches first,
+    /// then resolvers in reverse registration order.
+    ///
+    /// Resolvers are invoked *outside* the registry lock, so a resolver
+    /// may itself call back into the registry (e.g. an alias family that
+    /// delegates to other names), and a panicking resolver cannot poison
+    /// the registry.
+    pub fn lookup(&self, name: &str) -> Option<PrefetcherHandle> {
+        let key = name.trim().to_ascii_lowercase();
+        let resolvers: Vec<PrefetcherResolver> = {
+            let e = self.entries.lock().expect("registry poisoned");
+            if let Some((_, h)) = e.named.iter().rev().find(|(n, _)| *n == key) {
+                return Some(h.clone());
+            }
+            e.resolvers.iter().rev().map(|(_, r)| r.clone()).collect()
+        };
+        resolvers.iter().find_map(|r| r(&key))
+    }
+
+    /// All registered names and resolver patterns, registration order.
+    pub fn names(&self) -> Vec<String> {
+        let e = self.entries.lock().expect("registry poisoned");
+        e.named
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(e.resolvers.iter().map(|(p, _)| p.clone()))
+            .collect()
+    }
+}
+
+/// The process-wide registry, created on first use with the six built-in
+/// prefetchers pre-registered.
+pub fn registry() -> &'static PrefetcherRegistry {
+    static REGISTRY: OnceLock<PrefetcherRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(PrefetcherRegistry::with_builtins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_by_name() {
+        for (name, label) in [
+            ("none", "no-prefetch"),
+            ("no-prefetch", "no-prefetch"),
+            ("next-line", "next-line"),
+            ("bo", "BO"),
+            ("BO", "BO"),
+            ("sbp", "SBP"),
+            ("ampm", "AMPM"),
+            ("offset-1", "offset-1"),
+        ] {
+            let h = registry().lookup(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(h.name(), label);
+        }
+    }
+
+    #[test]
+    fn offset_family_resolves_parameterised_names() {
+        assert_eq!(
+            registry().lookup("offset-42").expect("family").name(),
+            "offset-42"
+        );
+        assert_eq!(
+            registry().lookup("offset--3").expect("negative").name(),
+            "offset--3"
+        );
+        assert!(
+            registry().lookup("offset-0").is_none(),
+            "offset 0 is not a prefetch"
+        );
+        assert!(registry().lookup("offset-x").is_none());
+    }
+
+    #[test]
+    fn unknown_names_miss() {
+        assert!(registry().lookup("definitely-not-registered").is_none());
+    }
+
+    #[test]
+    fn resolvers_may_reenter_the_registry() {
+        // An alias family that delegates back into the same registry:
+        // must not deadlock (resolvers run outside the lock).
+        let reg = Arc::new(PrefetcherRegistry::with_builtins());
+        let inner = reg.clone();
+        reg.register_resolver(
+            "alias-<name>",
+            Arc::new(move |name| inner.lookup(name.strip_prefix("alias-")?)),
+        );
+        assert_eq!(reg.lookup("alias-bo").expect("delegates").name(), "BO");
+        assert!(reg.lookup("alias-nope").is_none());
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let reg = PrefetcherRegistry::with_builtins();
+        reg.register("bo", prefetchers::none());
+        assert_eq!(
+            reg.lookup("bo").expect("still present").name(),
+            "no-prefetch"
+        );
+        let names = reg.names();
+        assert_eq!(names.iter().filter(|n| *n == "bo").count(), 1);
+    }
+}

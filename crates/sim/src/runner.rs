@@ -1,9 +1,16 @@
 //! Experiment runner: maps (benchmark × configuration) grids onto worker
 //! threads and computes paper-style speedup summaries.
+//!
+//! All entry points return [`RunnerError`] instead of panicking: a
+//! panicking simulation (e.g. a stall assertion) is caught on the worker
+//! thread and reported with the benchmark and configuration that failed.
 
 use crate::config::SimConfig;
 use crate::system::{SimResult, System};
 use bosim_trace::BenchmarkSpec;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One cell of an experiment grid.
@@ -15,39 +22,130 @@ pub struct Job {
     pub config: SimConfig,
 }
 
+/// A failure while running a job grid or pairing its results.
+#[derive(Debug, Clone)]
+pub enum RunnerError {
+    /// A worker panicked while simulating a job.
+    JobFailed {
+        /// The benchmark whose simulation failed.
+        benchmark: String,
+        /// The configuration label of the failing job.
+        config: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A job produced no result (internal scheduling error).
+    MissingResult {
+        /// The benchmark whose result is missing.
+        benchmark: String,
+    },
+    /// Speedup pairing was given result sets of different lengths.
+    LengthMismatch {
+        /// Subject result count.
+        subject: usize,
+        /// Baseline result count.
+        baseline: usize,
+    },
+    /// Speedup pairing found different benchmarks at the same position.
+    BenchmarkMismatch {
+        /// Position in the result sets.
+        index: usize,
+        /// Benchmark in the subject set.
+        subject: String,
+        /// Benchmark in the baseline set.
+        baseline: String,
+    },
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::JobFailed {
+                benchmark,
+                config,
+                message,
+            } => write!(f, "job {benchmark} [{config}] panicked: {message}"),
+            RunnerError::MissingResult { benchmark } => {
+                write!(f, "job {benchmark} produced no result")
+            }
+            RunnerError::LengthMismatch { subject, baseline } => write!(
+                f,
+                "cannot pair {subject} subject results with {baseline} baseline results"
+            ),
+            RunnerError::BenchmarkMismatch {
+                index,
+                subject,
+                baseline,
+            } => write!(
+                f,
+                "result sets out of order at {index}: subject {subject} vs baseline {baseline}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
 /// Runs one job to completion.
 pub fn run_job(job: &Job) -> SimResult {
     System::new(&job.config, &job.bench).run()
 }
 
-/// Runs all jobs, fanning out over `threads` workers (crossbeam scoped
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs all jobs, fanning out over `threads` workers (scoped std
 /// threads), preserving input order in the output.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any job panics (simulation stall assertions propagate).
-pub fn run_jobs(jobs: &[Job], threads: usize) -> Vec<SimResult> {
+/// Returns [`RunnerError::JobFailed`] naming the benchmark whose
+/// simulation panicked; remaining jobs are still drained so worker
+/// threads shut down cleanly.
+pub fn run_jobs(jobs: &[Job], threads: usize) -> Result<Vec<SimResult>, RunnerError> {
     let threads = threads.max(1);
-    let results: Vec<Mutex<Option<SimResult>>> =
+    let slots: Vec<Mutex<Option<Result<SimResult, String>>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
         for _ in 0..threads.min(jobs.len().max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
-                let res = run_job(&jobs[i]);
-                *results[i].lock().expect("poisoned") = Some(res);
+                let res =
+                    catch_unwind(AssertUnwindSafe(|| run_job(&jobs[i]))).map_err(panic_message);
+                *slots[i].lock().expect("slot poisoned") = Some(res);
             });
         }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("job completed"))
-        .collect()
+    });
+    let mut out = Vec::with_capacity(jobs.len());
+    for (job, slot) in jobs.iter().zip(slots) {
+        match slot.into_inner().expect("slot poisoned") {
+            Some(Ok(res)) => out.push(res),
+            Some(Err(message)) => {
+                return Err(RunnerError::JobFailed {
+                    benchmark: job.bench.name.clone(),
+                    config: job.config.label(),
+                    message,
+                })
+            }
+            None => {
+                return Err(RunnerError::MissingResult {
+                    benchmark: job.bench.name.clone(),
+                })
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Default worker-thread count: all available cores.
@@ -60,18 +158,33 @@ pub fn default_threads() -> usize {
 /// Pairs each subject result with its baseline by benchmark name and
 /// returns `(benchmark, speedup)` rows.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the two slices do not cover the same benchmarks in the same
-/// order.
-pub fn speedups(subject: &[SimResult], baseline: &[SimResult]) -> Vec<(String, f64)> {
-    assert_eq!(subject.len(), baseline.len(), "mismatched result sets");
+/// Returns a [`RunnerError`] if the two slices do not cover the same
+/// benchmarks in the same order.
+pub fn speedups(
+    subject: &[SimResult],
+    baseline: &[SimResult],
+) -> Result<Vec<(String, f64)>, RunnerError> {
+    if subject.len() != baseline.len() {
+        return Err(RunnerError::LengthMismatch {
+            subject: subject.len(),
+            baseline: baseline.len(),
+        });
+    }
     subject
         .iter()
         .zip(baseline)
-        .map(|(s, b)| {
-            assert_eq!(s.benchmark, b.benchmark, "result sets out of order");
-            (s.benchmark.clone(), s.ipc() / b.ipc())
+        .enumerate()
+        .map(|(index, (s, b))| {
+            if s.benchmark != b.benchmark {
+                return Err(RunnerError::BenchmarkMismatch {
+                    index,
+                    subject: s.benchmark.clone(),
+                    baseline: b.benchmark.clone(),
+                });
+            }
+            Ok((s.benchmark.clone(), s.ipc() / b.ipc()))
         })
         .collect()
 }
@@ -99,7 +212,7 @@ mod tests {
             })
             .collect();
         let serial: Vec<SimResult> = jobs.iter().map(run_job).collect();
-        let parallel = run_jobs(&jobs, 2);
+        let parallel = run_jobs(&jobs, 2).expect("jobs succeed");
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.benchmark, b.benchmark);
             assert_eq!(a.cycles, b.cycles, "determinism violated");
@@ -113,9 +226,50 @@ mod tests {
             bench: suite::benchmark("456").expect("exists"),
             config: tiny_cfg(),
         }];
-        let r = run_jobs(&jobs, 1);
-        let sp = speedups(&r, &r);
+        let r = run_jobs(&jobs, 1).expect("job succeeds");
+        let sp = speedups(&r, &r).expect("same set pairs");
         assert_eq!(sp.len(), 1);
         assert!((sp[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_panic_names_the_failing_benchmark() {
+        // active_cores = 0 trips the System::new assertion; the runner
+        // must surface it as an error naming the job, not a panic.
+        let mut bad = tiny_cfg();
+        bad.active_cores = 0;
+        let jobs = vec![
+            Job {
+                bench: suite::benchmark("456").expect("exists"),
+                config: tiny_cfg(),
+            },
+            Job {
+                bench: suite::benchmark("444").expect("exists"),
+                config: bad,
+            },
+        ];
+        let err = run_jobs(&jobs, 2).expect_err("bad job must fail");
+        match err {
+            RunnerError::JobFailed {
+                benchmark, message, ..
+            } => {
+                assert_eq!(benchmark, "444.namd-like");
+                assert!(message.contains("active_cores"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn speedup_pairing_errors_are_typed() {
+        let jobs = vec![Job {
+            bench: suite::benchmark("456").expect("exists"),
+            config: tiny_cfg(),
+        }];
+        let r = run_jobs(&jobs, 1).expect("job succeeds");
+        assert!(matches!(
+            speedups(&r, &[]),
+            Err(RunnerError::LengthMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,272 @@
+//! The open prefetcher-construction interface.
+//!
+//! [`PrefetcherSpec`] replaces the closed `L2PrefetcherKind` enum of
+//! earlier revisions: a spec is a small, cloneable *description* of an L2
+//! prefetcher (its algorithm and parameters) that knows how to build the
+//! live [`L2Prefetcher`] state machine for a concrete [`SimConfig`].
+//! Because the trait is public and object-safe, new prefetchers plug into
+//! the simulator from any crate — nothing in `bosim-sim` needs editing
+//! (see [`crate::registry`] for by-name discovery).
+//!
+//! The six prefetchers evaluated in the paper are provided as built-in
+//! specs via the [`prefetchers`] constructor functions.
+
+use crate::config::SimConfig;
+use best_offset::{BestOffsetPrefetcher, BoConfig, L2Prefetcher, NullPrefetcher};
+use bosim_baselines::{
+    AmpmConfig, AmpmPrefetcher, FixedOffsetPrefetcher, SandboxPrefetcher, SbpConfig,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// A description of an L2 prefetcher that can build the live prefetcher
+/// for a simulation run.
+///
+/// Implementations should be cheap value types holding algorithm
+/// parameters; [`build`](Self::build) is called once per simulated core.
+/// The `Debug` representation must include every parameter that affects
+/// behaviour — the experiment harness uses it to deduplicate identical
+/// simulation jobs.
+pub trait PrefetcherSpec: fmt::Debug + Send + Sync {
+    /// Label used in configuration labels, reports and registry lookups
+    /// (`"BO"`, `"next-line"`, `"offset-5"`, ...).
+    fn name(&self) -> String;
+
+    /// Builds the prefetcher state machine for one core of `cfg`'s
+    /// machine.
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher>;
+}
+
+/// A shared, cloneable handle to a [`PrefetcherSpec`].
+///
+/// This is what [`SimConfig`] stores: configurations stay `Clone` while
+/// the spec itself is allocated once.
+#[derive(Clone)]
+pub struct PrefetcherHandle(Arc<dyn PrefetcherSpec>);
+
+impl PrefetcherHandle {
+    /// Wraps a spec into a shareable handle.
+    pub fn new(spec: impl PrefetcherSpec + 'static) -> Self {
+        PrefetcherHandle(Arc::new(spec))
+    }
+
+    /// Wraps an already-shared spec.
+    pub fn from_arc(spec: Arc<dyn PrefetcherSpec>) -> Self {
+        PrefetcherHandle(spec)
+    }
+
+    /// The spec's report label.
+    pub fn name(&self) -> String {
+        self.0.name()
+    }
+
+    /// Builds the live prefetcher for one core of `cfg`'s machine.
+    pub fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        self.0.build(cfg)
+    }
+
+    /// Borrows the underlying spec.
+    pub fn spec(&self) -> &dyn PrefetcherSpec {
+        self.0.as_ref()
+    }
+}
+
+impl fmt::Debug for PrefetcherHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<S: PrefetcherSpec + 'static> From<S> for PrefetcherHandle {
+    fn from(spec: S) -> Self {
+        PrefetcherHandle::new(spec)
+    }
+}
+
+/// No L2 prefetching (the Figure 5 comparison point).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetchSpec;
+
+impl PrefetcherSpec for NoPrefetchSpec {
+    fn name(&self) -> String {
+        "no-prefetch".into()
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        Box::new(NullPrefetcher::new(cfg.page))
+    }
+}
+
+/// Next-line prefetching — the paper's default L2 baseline (§5.6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextLineSpec;
+
+impl PrefetcherSpec for NextLineSpec {
+    fn name(&self) -> String {
+        "next-line".into()
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        Box::new(FixedOffsetPrefetcher::next_line(cfg.page))
+    }
+}
+
+/// A constant offset `D` (Figures 7 and 8).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedOffsetSpec {
+    /// The constant line offset.
+    pub offset: i64,
+}
+
+impl PrefetcherSpec for FixedOffsetSpec {
+    fn name(&self) -> String {
+        format!("offset-{}", self.offset)
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        Box::new(FixedOffsetPrefetcher::new(self.offset, cfg.page))
+    }
+}
+
+/// The Best-Offset prefetcher (§4).
+#[derive(Debug, Clone, Default)]
+pub struct BoSpec {
+    /// Algorithm parameters (Table 2 defaults).
+    pub config: BoConfig,
+}
+
+impl PrefetcherSpec for BoSpec {
+    fn name(&self) -> String {
+        "BO".into()
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        Box::new(BestOffsetPrefetcher::new(self.config.clone(), cfg.page))
+    }
+}
+
+/// The Sandbox prefetcher as adapted in §6.3.
+#[derive(Debug, Clone, Default)]
+pub struct SbpSpec {
+    /// Algorithm parameters.
+    pub config: SbpConfig,
+}
+
+impl PrefetcherSpec for SbpSpec {
+    fn name(&self) -> String {
+        "SBP".into()
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        Box::new(SandboxPrefetcher::new(self.config.clone(), cfg.page))
+    }
+}
+
+/// AMPM-lite (extension; the DPC-1 winner referenced in §2).
+#[derive(Debug, Clone, Default)]
+pub struct AmpmSpec {
+    /// Algorithm parameters.
+    pub config: AmpmConfig,
+}
+
+impl PrefetcherSpec for AmpmSpec {
+    fn name(&self) -> String {
+        "AMPM".into()
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        Box::new(AmpmPrefetcher::new(self.config.clone(), cfg.page))
+    }
+}
+
+/// Constructor shorthands for the built-in prefetcher specs.
+///
+/// ```
+/// use bosim::{prefetchers, SimConfig};
+///
+/// let cfg = SimConfig::default().with_prefetcher(prefetchers::bo_default());
+/// assert_eq!(cfg.l2_prefetcher.name(), "BO");
+/// ```
+pub mod prefetchers {
+    use super::*;
+
+    /// No L2 prefetching.
+    pub fn none() -> PrefetcherHandle {
+        PrefetcherHandle::new(NoPrefetchSpec)
+    }
+
+    /// Next-line prefetching (the baseline).
+    pub fn next_line() -> PrefetcherHandle {
+        PrefetcherHandle::new(NextLineSpec)
+    }
+
+    /// Constant-offset prefetching with offset `d`.
+    pub fn fixed(d: i64) -> PrefetcherHandle {
+        PrefetcherHandle::new(FixedOffsetSpec { offset: d })
+    }
+
+    /// Best-Offset prefetching with explicit parameters.
+    pub fn bo(config: BoConfig) -> PrefetcherHandle {
+        PrefetcherHandle::new(BoSpec { config })
+    }
+
+    /// Best-Offset prefetching with the Table 2 defaults.
+    pub fn bo_default() -> PrefetcherHandle {
+        bo(BoConfig::default())
+    }
+
+    /// Sandbox prefetching with explicit parameters.
+    pub fn sbp(config: SbpConfig) -> PrefetcherHandle {
+        PrefetcherHandle::new(SbpSpec { config })
+    }
+
+    /// Sandbox prefetching with the §6.3 defaults.
+    pub fn sbp_default() -> PrefetcherHandle {
+        sbp(SbpConfig::default())
+    }
+
+    /// AMPM-lite prefetching with explicit parameters.
+    pub fn ampm(config: AmpmConfig) -> PrefetcherHandle {
+        PrefetcherHandle::new(AmpmSpec { config })
+    }
+
+    /// AMPM-lite prefetching with default parameters.
+    pub fn ampm_default() -> PrefetcherHandle {
+        ampm(AmpmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names() {
+        assert_eq!(prefetchers::none().name(), "no-prefetch");
+        assert_eq!(prefetchers::next_line().name(), "next-line");
+        assert_eq!(prefetchers::fixed(5).name(), "offset-5");
+        assert_eq!(prefetchers::bo_default().name(), "BO");
+        assert_eq!(prefetchers::sbp_default().name(), "SBP");
+        assert_eq!(prefetchers::ampm_default().name(), "AMPM");
+    }
+
+    #[test]
+    fn specs_build_matching_prefetchers() {
+        let cfg = SimConfig::default();
+        for (handle, built_name) in [
+            (prefetchers::none(), "none"),
+            (prefetchers::bo_default(), "BO"),
+            (prefetchers::sbp_default(), "SBP"),
+            (prefetchers::ampm_default(), "AMPM"),
+        ] {
+            assert_eq!(handle.build(&cfg).name(), built_name);
+        }
+    }
+
+    #[test]
+    fn debug_reflects_parameters() {
+        let a = format!("{:?}", prefetchers::fixed(3));
+        let b = format!("{:?}", prefetchers::fixed(4));
+        assert_ne!(a, b, "job dedup relies on parameter-carrying Debug");
+    }
+}

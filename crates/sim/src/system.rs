@@ -262,7 +262,7 @@ fn diff_dram(a: DramStats, b: DramStats) -> DramStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::L2PrefetcherKind;
+    use crate::spec::prefetchers;
     use bosim_types::PageSize;
 
     fn quick_cfg() -> SimConfig {
@@ -308,21 +308,12 @@ mod tests {
         let spec = suite::benchmark("462").expect("exists");
         let base = quick_cfg();
 
-        let mut none = System::new(
-            &base.clone().with_prefetcher(L2PrefetcherKind::None),
-            &spec,
-        );
+        let mut none = System::new(&base.clone().with_prefetcher(prefetchers::none()), &spec);
         let ipc_none = none.run().ipc();
 
-        let mut bo = System::new(
-            &base.with_prefetcher(L2PrefetcherKind::Bo(Default::default())),
-            &spec,
-        );
+        let mut bo = System::new(&base.with_prefetcher(prefetchers::bo_default()), &spec);
         let ipc_bo = bo.run().ipc();
-        assert!(
-            ipc_bo > ipc_none * 1.05,
-            "BO {ipc_bo} vs none {ipc_none}"
-        );
+        assert!(ipc_bo > ipc_none * 1.05, "BO {ipc_bo} vs none {ipc_none}");
     }
 
     #[test]

@@ -8,14 +8,11 @@
 //! the block is forwarded from the L3 insertion stage, exactly as §5.4
 //! describes.
 
-use crate::config::{L2PrefetcherKind, SimConfig};
-use best_offset::{
-    AccessOutcome, BestOffsetPrefetcher, L2Access, L2Prefetcher, NullPrefetcher,
-};
-use bosim_baselines::{AmpmPrefetcher, FixedOffsetPrefetcher, SandboxPrefetcher};
+use crate::config::SimConfig;
+use best_offset::{AccessOutcome, L2Access, L2Prefetcher};
 use bosim_cache::policy::InsertCtx;
-use bosim_cache::{CacheArray, FillQueue, PrefetchQueue};
 use bosim_cache::policy::PolicyKind;
+use bosim_cache::{CacheArray, FillQueue, PrefetchQueue};
 use bosim_dram::{MemConfig, MemorySystem, ReadCompletion};
 use bosim_types::{CoreId, Cycle, LineAddr, ReqClass};
 use std::collections::VecDeque;
@@ -133,17 +130,6 @@ pub struct Uncore {
     stats: UncoreStats,
 }
 
-fn build_prefetcher(cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
-    match &cfg.l2_prefetcher {
-        L2PrefetcherKind::None => Box::new(NullPrefetcher::new(cfg.page)),
-        L2PrefetcherKind::NextLine => Box::new(FixedOffsetPrefetcher::next_line(cfg.page)),
-        L2PrefetcherKind::Fixed(d) => Box::new(FixedOffsetPrefetcher::new(*d, cfg.page)),
-        L2PrefetcherKind::Bo(c) => Box::new(BestOffsetPrefetcher::new(c.clone(), cfg.page)),
-        L2PrefetcherKind::Sbp(c) => Box::new(SandboxPrefetcher::new(c.clone(), cfg.page)),
-        L2PrefetcherKind::Ampm(c) => Box::new(AmpmPrefetcher::new(c.clone(), cfg.page)),
-    }
-}
-
 impl Uncore {
     /// Builds the uncore for `active_cores` cores.
     pub fn new(cfg: &SimConfig) -> Self {
@@ -158,7 +144,7 @@ impl Uncore {
                 ),
                 fq: FillQueue::new(cfg.l2_fill_queue),
                 pq: PrefetchQueue::new(cfg.prefetch_queue),
-                prefetcher: build_prefetcher(cfg),
+                prefetcher: cfg.l2_prefetcher.build(cfg),
                 stalled: VecDeque::new(),
                 ready_q: VecDeque::new(),
                 fill_out: VecDeque::new(),
@@ -207,7 +193,14 @@ impl Uncore {
 
     /// A core read request (demand miss, DL1 prefetch, or ifetch) arrives
     /// at its private L2.
-    pub fn core_read(&mut self, core: CoreId, line: LineAddr, class: ReqClass, ifetch: bool, now: Cycle) {
+    pub fn core_read(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        class: ReqClass,
+        ifetch: bool,
+        now: Cycle,
+    ) {
         let c = core.index();
         self.stats.l2_accesses += 1;
         let hit = self.l2s[c].array.access(line, false);
@@ -258,7 +251,11 @@ impl Uncore {
                 if !ifetch {
                     self.run_prefetcher(c, line, AccessOutcome::Miss, now);
                 }
-                let req = StalledReq { line, class, ifetch };
+                let req = StalledReq {
+                    line,
+                    class,
+                    ifetch,
+                };
                 self.forward_to_l3(core, req, now);
             }
         }
@@ -329,8 +326,7 @@ impl Uncore {
         for &target in &cand {
             let l2 = &mut self.l2s[c];
             // Redundancy checks: resident, in flight, or already queued.
-            if l2.array.contains(target) || l2.fq.find(target).is_some() || l2.pq.contains(target)
-            {
+            if l2.array.contains(target) || l2.fq.find(target).is_some() || l2.pq.contains(target) {
                 self.stats.l2_prefetches_redundant += 1;
                 continue;
             }
@@ -600,8 +596,16 @@ impl Uncore {
                     l2.fq.capacity(),
                     l2.fq
                         .iter()
-                        .map(|e| format!("{:x}:{}{}", e.line.0, if e.ready { "R" } else { "w" },
-                            match e.class { ReqClass::Demand => "D", ReqClass::L1Prefetch => "1", ReqClass::L2Prefetch => "2" }))
+                        .map(|e| format!(
+                            "{:x}:{}{}",
+                            e.line.0,
+                            if e.ready { "R" } else { "w" },
+                            match e.class {
+                                ReqClass::Demand => "D",
+                                ReqClass::L1Prefetch => "1",
+                                ReqClass::L2Prefetch => "2",
+                            }
+                        ))
                         .collect::<Vec<_>>()
                         .join(","),
                     l2.pq.len(),
@@ -700,9 +704,10 @@ impl Uncore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::PrefetcherHandle;
     use bosim_types::PageSize;
 
-    fn uncore(prefetcher: L2PrefetcherKind) -> Uncore {
+    fn uncore(prefetcher: PrefetcherHandle) -> Uncore {
         let cfg = SimConfig {
             active_cores: 1,
             page: PageSize::M4,
@@ -712,7 +717,11 @@ mod tests {
         Uncore::new(&cfg)
     }
 
-    fn run_to_fill(u: &mut Uncore, start: Cycle, max: Cycle) -> Option<(Cycle, Vec<(CoreId, LineAddr)>)> {
+    fn run_to_fill(
+        u: &mut Uncore,
+        start: Cycle,
+        max: Cycle,
+    ) -> Option<(Cycle, Vec<(CoreId, LineAddr)>)> {
         let mut fills = Vec::new();
         for now in start..start + max {
             u.tick(now, &mut fills);
@@ -725,7 +734,7 @@ mod tests {
 
     #[test]
     fn demand_miss_goes_to_dram_and_returns() {
-        let mut u = uncore(L2PrefetcherKind::None);
+        let mut u = uncore(crate::prefetchers::none());
         u.core_read(CoreId(0), LineAddr(0x1234), ReqClass::Demand, false, 0);
         let (t, fills) = run_to_fill(&mut u, 0, 5000).expect("fill arrives");
         assert_eq!(fills[0], (CoreId(0), LineAddr(0x1234)));
@@ -741,7 +750,7 @@ mod tests {
 
     #[test]
     fn l3_hit_is_much_faster_than_dram() {
-        let mut u = uncore(L2PrefetcherKind::None);
+        let mut u = uncore(crate::prefetchers::none());
         u.core_read(CoreId(0), LineAddr(0x99), ReqClass::Demand, false, 0);
         let (t1, _) = run_to_fill(&mut u, 0, 5000).expect("dram fill");
         // Evict nothing; read again from another "L2-cold" state by
@@ -757,7 +766,7 @@ mod tests {
 
     #[test]
     fn next_line_prefetcher_fills_ahead() {
-        let mut u = uncore(L2PrefetcherKind::NextLine);
+        let mut u = uncore(crate::prefetchers::next_line());
         u.core_read(CoreId(0), LineAddr(0x1000), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
         for now in 0..6000 {
@@ -773,7 +782,7 @@ mod tests {
 
     #[test]
     fn late_prefetch_promotion_on_inflight_line() {
-        let mut u = uncore(L2PrefetcherKind::NextLine);
+        let mut u = uncore(crate::prefetchers::next_line());
         // Demand X triggers prefetch X+1; demand X+1 arrives while the
         // prefetch is still in flight -> merge, single DRAM read.
         u.core_read(CoreId(0), LineAddr(0x2000), ReqClass::Demand, false, 0);
@@ -785,8 +794,7 @@ mod tests {
         for now in 40..6000 {
             u.tick(now, &mut fills);
         }
-        let got: std::collections::HashSet<u64> =
-            fills.iter().map(|&(_, l)| l.0).collect();
+        let got: std::collections::HashSet<u64> = fills.iter().map(|&(_, l)| l.0).collect();
         assert!(got.contains(&0x2001), "promoted prefetch must reach core");
         let s = u.stats();
         assert!(
@@ -797,7 +805,7 @@ mod tests {
 
     #[test]
     fn writebacks_reach_dram() {
-        let mut u = uncore(L2PrefetcherKind::None);
+        let mut u = uncore(crate::prefetchers::none());
         // Fill many dirty lines through core writebacks; force L2 and L3
         // evictions until DRAM writes happen.
         for i in 0..200_000u64 {
@@ -812,7 +820,7 @@ mod tests {
     fn prefetches_have_lowest_priority() {
         // A prefetch queued in the same cycle as a demand request must
         // not reach the L3 that cycle (§5.4: lowest priority).
-        let mut u = uncore(L2PrefetcherKind::NextLine);
+        let mut u = uncore(crate::prefetchers::next_line());
         u.core_read(CoreId(0), LineAddr(0x7000), ReqClass::Demand, false, 0);
         let before = u.stats().l2_prefetches_issued;
         let mut fills = Vec::new();
@@ -824,7 +832,7 @@ mod tests {
 
     #[test]
     fn redundant_prefetches_are_dropped() {
-        let mut u = uncore(L2PrefetcherKind::NextLine);
+        let mut u = uncore(crate::prefetchers::next_line());
         // Fill X+1, then miss on X: the candidate X+1 is resident.
         u.core_read(CoreId(0), LineAddr(0x8001), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
@@ -841,11 +849,17 @@ mod tests {
 
     #[test]
     fn ampm_prefetcher_integrates() {
-        let mut u = uncore(L2PrefetcherKind::Ampm(Default::default()));
+        let mut u = uncore(crate::prefetchers::ampm_default());
         let mut fills = Vec::new();
         let mut now = 0;
         for i in 0..12u64 {
-            u.core_read(CoreId(0), LineAddr(0x9000 + i), ReqClass::Demand, false, now);
+            u.core_read(
+                CoreId(0),
+                LineAddr(0x9000 + i),
+                ReqClass::Demand,
+                false,
+                now,
+            );
             for _ in 0..400 {
                 u.tick(now, &mut fills);
                 now += 1;
@@ -860,7 +874,7 @@ mod tests {
 
     #[test]
     fn writeback_allocate_cascades_to_l3() {
-        let mut u = uncore(L2PrefetcherKind::None);
+        let mut u = uncore(crate::prefetchers::none());
         // Write back enough dirty lines to one L2 set to force dirty
         // evictions into the L3 (write-allocate on writeback).
         // L2: 1024 sets; lines k*1024 share set 0; 8 ways overflow at 9.
@@ -882,12 +896,18 @@ mod tests {
 
     #[test]
     fn prefetch_queue_cancellation_counts() {
-        let mut u = uncore(L2PrefetcherKind::NextLine);
+        let mut u = uncore(crate::prefetchers::next_line());
         // Burst of misses on one cycle: candidates pile into the 8-entry
         // prefetch queue; with no demand gaps they cannot issue, so the
         // queue overflows and cancels the oldest.
         for i in 0..32u64 {
-            u.core_read(CoreId(0), LineAddr(0x4000 + i * 2), ReqClass::Demand, false, 0);
+            u.core_read(
+                CoreId(0),
+                LineAddr(0x4000 + i * 2),
+                ReqClass::Demand,
+                false,
+                0,
+            );
         }
         let s = u.stats();
         assert!(

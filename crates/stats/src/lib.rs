@@ -24,9 +24,11 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod json;
 mod summary;
 mod table;
 
 pub use histogram::Histogram;
+pub use json::Json;
 pub use summary::{geometric_mean, harmonic_mean, mean, speedup, RateStat};
 pub use table::{fmt3, Align, Table};

@@ -102,10 +102,29 @@ impl RateStat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-9
+    }
+
+    /// Deterministic pseudo-random value vectors (splitmix64-based) for
+    /// the property checks below, keeping the crate dependency-free.
+    fn random_vectors(lo: f64, hi: f64, max_len: usize) -> Vec<Vec<f64>> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..64)
+            .map(|i| {
+                (0..(i % max_len) + 1)
+                    .map(|_| lo + (hi - lo) * (next() >> 11) as f64 / (1u64 << 53) as f64)
+                    .collect()
+            })
+            .collect()
     }
 
     #[test]
@@ -146,30 +165,37 @@ mod tests {
         assert_eq!(RateStat::new(10, 0).per_kilo_instr(), 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_geomean_between_min_and_max(values in proptest::collection::vec(0.01f64..100.0, 1..40)) {
+    #[test]
+    fn prop_geomean_between_min_and_max() {
+        for values in random_vectors(0.01, 100.0, 40) {
             let gm = geometric_mean(values.iter().copied()).unwrap();
             let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = values.iter().cloned().fold(0.0f64, f64::max);
-            prop_assert!(gm >= lo - 1e-9 && gm <= hi + 1e-9);
+            assert!(gm >= lo - 1e-9 && gm <= hi + 1e-9, "{values:?}");
         }
+    }
 
-        #[test]
-        fn prop_geomean_scale_invariance(values in proptest::collection::vec(0.1f64..10.0, 1..20),
-                                         k in 0.1f64..10.0) {
+    #[test]
+    fn prop_geomean_scale_invariance() {
+        for (i, values) in random_vectors(0.1, 10.0, 20).into_iter().enumerate() {
+            let k = 0.1 + (i as f64) * 0.15;
             let gm = geometric_mean(values.iter().copied()).unwrap();
             let gm_scaled = geometric_mean(values.iter().map(|v| v * k)).unwrap();
-            prop_assert!((gm_scaled - gm * k).abs() < 1e-6 * gm_scaled.abs().max(1.0));
+            assert!(
+                (gm_scaled - gm * k).abs() < 1e-6 * gm_scaled.abs().max(1.0),
+                "{values:?} * {k}"
+            );
         }
+    }
 
-        #[test]
-        fn prop_hm_le_gm_le_am(values in proptest::collection::vec(0.1f64..10.0, 1..20)) {
+    #[test]
+    fn prop_hm_le_gm_le_am() {
+        for values in random_vectors(0.1, 10.0, 20) {
             let am = mean(values.iter().copied()).unwrap();
             let gm = geometric_mean(values.iter().copied()).unwrap();
             let hm = harmonic_mean(values.iter().copied()).unwrap();
-            prop_assert!(hm <= gm + 1e-9);
-            prop_assert!(gm <= am + 1e-9);
+            assert!(hm <= gm + 1e-9, "{values:?}");
+            assert!(gm <= am + 1e-9, "{values:?}");
         }
     }
 }

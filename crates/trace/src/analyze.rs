@@ -190,8 +190,14 @@ mod tests {
 
     #[test]
     fn resident_benchmarks_revisit_lines_streaming_ones_do_not() {
-        let resident = summarize(&capture(&mut suite::benchmark("444").unwrap().build(), 300_000));
-        let streaming = summarize(&capture(&mut suite::benchmark("410").unwrap().build(), 300_000));
+        let resident = summarize(&capture(
+            &mut suite::benchmark("444").unwrap().build(),
+            300_000,
+        ));
+        let streaming = summarize(&capture(
+            &mut suite::benchmark("410").unwrap().build(),
+            300_000,
+        ));
         // New-lines-per-load: a resident loop revisits its buffer, a
         // streaming benchmark keeps touching fresh lines.
         let r = resident.distinct_lines as f64 / resident.loads as f64;
@@ -203,8 +209,14 @@ mod tests {
 
     #[test]
     fn gcc_like_has_large_code_footprint() {
-        let gcc = summarize(&capture(&mut suite::benchmark("403").unwrap().build(), 60_000));
-        let quantum = summarize(&capture(&mut suite::benchmark("462").unwrap().build(), 60_000));
+        let gcc = summarize(&capture(
+            &mut suite::benchmark("403").unwrap().build(),
+            60_000,
+        ));
+        let quantum = summarize(&capture(
+            &mut suite::benchmark("462").unwrap().build(),
+            60_000,
+        ));
         assert!(
             gcc.code_lines > quantum.code_lines * 3,
             "gcc {} vs libquantum {}",

@@ -16,7 +16,6 @@
 use crate::record::{BranchInfo, MemRef, MicroOp, Reg, UopKind};
 use crate::source::{ReplaySource, TraceSource};
 use bosim_types::VirtAddr;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::fs::File;
 use std::io::{Read as _, Write as _};
@@ -112,41 +111,80 @@ fn reg_from_u8(v: u8) -> Option<Reg> {
     }
 }
 
+/// A little-endian byte reader over a borrowed slice (keeps the file
+/// format dependency-free).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        debug_assert!(self.buf.len() >= N, "caller checks remaining()");
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        head.try_into().expect("split_at(N) yields N bytes")
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take::<2>())
+    }
+
+    fn u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    fn u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+}
+
 /// Encodes µops into a standalone binary buffer.
-pub fn encode(uops: &[MicroOp]) -> Bytes {
-    let mut b = BytesMut::with_capacity(16 + uops.len() * 30);
-    b.put_u32_le(MAGIC);
-    b.put_u16_le(VERSION);
-    b.put_u16_le(0); // reserved
-    b.put_u64_le(uops.len() as u64);
+pub fn encode(uops: &[MicroOp]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(16 + uops.len() * 30);
+    b.extend_from_slice(&MAGIC.to_le_bytes());
+    b.extend_from_slice(&VERSION.to_le_bytes());
+    b.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    b.extend_from_slice(&(uops.len() as u64).to_le_bytes());
     for u in uops {
-        b.put_u64_le(u.pc);
-        b.put_u8(kind_to_u8(u.kind));
-        b.put_u8(reg_to_u8(u.dst));
-        b.put_u8(reg_to_u8(u.srcs[0]));
-        b.put_u8(reg_to_u8(u.srcs[1]));
+        b.extend_from_slice(&u.pc.to_le_bytes());
+        b.push(kind_to_u8(u.kind));
+        b.push(reg_to_u8(u.dst));
+        b.push(reg_to_u8(u.srcs[0]));
+        b.push(reg_to_u8(u.srcs[1]));
         match u.mem {
             Some(m) => {
-                b.put_u64_le(m.vaddr.0);
-                b.put_u8(m.size);
+                b.extend_from_slice(&m.vaddr.0.to_le_bytes());
+                b.push(m.size);
             }
             None => {
-                b.put_u64_le(0);
-                b.put_u8(0);
+                b.extend_from_slice(&0u64.to_le_bytes());
+                b.push(0);
             }
         }
         match u.branch {
             Some(br) => {
-                b.put_u8(if br.taken { 3 } else { 1 });
-                b.put_u64_le(br.target);
+                b.push(if br.taken { 3 } else { 1 });
+                b.extend_from_slice(&br.target.to_le_bytes());
             }
             None => {
-                b.put_u8(0);
-                b.put_u64_le(0);
+                b.push(0);
+                b.extend_from_slice(&0u64.to_le_bytes());
             }
         }
     }
-    b.freeze()
+    b
 }
 
 /// Decodes a buffer produced by [`encode`].
@@ -155,32 +193,33 @@ pub fn encode(uops: &[MicroOp]) -> Bytes {
 ///
 /// Returns a [`TraceFileError`] when the magic/version are wrong, the
 /// buffer is truncated, or a field is invalid.
-pub fn decode(mut buf: &[u8]) -> Result<Vec<MicroOp>, TraceFileError> {
+pub fn decode(buf: &[u8]) -> Result<Vec<MicroOp>, TraceFileError> {
+    let mut buf = Reader::new(buf);
     if buf.remaining() < 16 {
         return Err(TraceFileError::Truncated);
     }
-    if buf.get_u32_le() != MAGIC {
+    if buf.u32_le() != MAGIC {
         return Err(TraceFileError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = buf.u16_le();
     if version != VERSION {
         return Err(TraceFileError::BadVersion(version));
     }
-    let _reserved = buf.get_u16_le();
-    let n = buf.get_u64_le() as usize;
-    let mut out = Vec::with_capacity(n);
+    let _reserved = buf.u16_le();
+    let n = buf.u64_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
     const REC: usize = 8 + 4 + 9 + 9;
     for _ in 0..n {
         if buf.remaining() < REC {
             return Err(TraceFileError::Truncated);
         }
-        let pc = buf.get_u64_le();
-        let kind = kind_from_u8(buf.get_u8()).ok_or(TraceFileError::Corrupt("uop kind"))?;
-        let dst = reg_from_u8(buf.get_u8());
-        let s0 = reg_from_u8(buf.get_u8());
-        let s1 = reg_from_u8(buf.get_u8());
-        let vaddr = buf.get_u64_le();
-        let size = buf.get_u8();
+        let pc = buf.u64_le();
+        let kind = kind_from_u8(buf.u8()).ok_or(TraceFileError::Corrupt("uop kind"))?;
+        let dst = reg_from_u8(buf.u8());
+        let s0 = reg_from_u8(buf.u8());
+        let s1 = reg_from_u8(buf.u8());
+        let vaddr = buf.u64_le();
+        let size = buf.u8();
         let mem = if kind.is_mem() {
             Some(MemRef {
                 vaddr: VirtAddr(vaddr),
@@ -189,8 +228,8 @@ pub fn decode(mut buf: &[u8]) -> Result<Vec<MicroOp>, TraceFileError> {
         } else {
             None
         };
-        let bflags = buf.get_u8();
-        let target = buf.get_u64_le();
+        let bflags = buf.u8();
+        let target = buf.u64_le();
         let branch = if bflags & 1 != 0 {
             Some(BranchInfo {
                 taken: bflags & 2 != 0,

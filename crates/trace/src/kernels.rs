@@ -100,9 +100,7 @@ impl KernelState {
             KernelCfg::Gather(c) => KernelState::Gather(Gather::new(c.clone(), idx, seed)),
             KernelCfg::Compute(c) => KernelState::Compute(Compute::new(c.clone(), idx, seed)),
             KernelCfg::Branchy(c) => KernelState::Branchy(Branchy::new(c.clone(), idx, seed)),
-            KernelCfg::ScanWrite(c) => {
-                KernelState::ScanWrite(ScanWrite::new(c.clone(), idx, seed))
-            }
+            KernelCfg::ScanWrite(c) => KernelState::ScanWrite(ScanWrite::new(c.clone(), idx, seed)),
         }
     }
 
@@ -168,7 +166,11 @@ impl Stream {
         // Induction-variable update: address is ready quickly (high MLP).
         e.op(UopKind::Int, Some(addr_reg), [Some(addr_reg), None]);
         e.load(addr, data_reg, Some(addr_reg));
-        let kind = if self.cfg.fp { UopKind::Fp } else { UopKind::Int };
+        let kind = if self.cfg.fp {
+            UopKind::Fp
+        } else {
+            UopKind::Int
+        };
         for j in 0..self.cfg.compute_per_load {
             let c = Reg(self.r + 3 + (j % 3) as u8);
             e.op(kind, Some(c), [Some(data_reg), Some(c)]);
@@ -417,8 +419,7 @@ impl Branchy {
                     Reg(self.r + 2),
                     Some(addr_reg),
                 );
-                self.cursor =
-                    (self.cursor + 8 * 64 + 8) % self.cfg.resident_bytes.max(64);
+                self.cursor = (self.cursor + 8 * 64 + 8) % self.cfg.resident_bytes.max(64);
                 continue;
             }
             let c = Reg(self.r + 3 + (j % 4) as u8);
@@ -426,9 +427,7 @@ impl Branchy {
         }
         // Mid-block conditional branch: either loop-like (always taken) or
         // data dependent (random direction).
-        let predictable = self
-            .rng
-            .chance(self.cfg.predictable_permille as u64, 1000);
+        let predictable = self.rng.chance(self.cfg.predictable_permille as u64, 1000);
         let taken = if predictable {
             true
         } else {
@@ -469,7 +468,11 @@ impl ScanWrite {
             e.op(UopKind::Int, Some(addr_reg), [Some(addr_reg), None]);
             e.store(self.base + self.cursor, Some(Reg(self.r + 2)));
             for _ in 0..self.cfg.compute_per_store {
-                e.op(UopKind::Int, Some(Reg(self.r + 3)), [Some(Reg(self.r + 3)), None]);
+                e.op(
+                    UopKind::Int,
+                    Some(Reg(self.r + 3)),
+                    [Some(Reg(self.r + 3)), None],
+                );
             }
             self.cursor = (self.cursor + LINE_BYTES) % self.cfg.region_bytes;
         }
@@ -612,8 +615,10 @@ mod tests {
         });
         let mut k = KernelState::new(&cfg, 0, 19);
         let uops = collect(&mut k, 64);
-        let blocks: std::collections::HashSet<u64> =
-            uops.iter().map(|u| (u.pc - layout::code_base(0)) / 4096).collect();
+        let blocks: std::collections::HashSet<u64> = uops
+            .iter()
+            .map(|u| (u.pc - layout::code_base(0)) / 4096)
+            .collect();
         assert_eq!(blocks.len(), 16, "should touch all 16 code blocks");
     }
 

@@ -28,15 +28,10 @@ const KB: u64 = 1 << 10;
 const MB: u64 = 1 << 20;
 
 fn seed_for(name: &str) -> u64 {
-    name.bytes().fold(0xB05E_ED, |h, b| mix64(h ^ b as u64))
+    name.bytes().fold(0xB0_5EED, |h, b| mix64(h ^ b as u64))
 }
 
-fn spec(
-    short: &str,
-    name: &str,
-    kernels: Vec<KernelCfg>,
-    schedule: Schedule,
-) -> BenchmarkSpec {
+fn spec(short: &str, name: &str, kernels: Vec<KernelCfg>, schedule: Schedule) -> BenchmarkSpec {
     let full = format!("{short}.{name}-like");
     BenchmarkSpec {
         seed: seed_for(&full),
@@ -180,8 +175,8 @@ pub fn benchmark(short: &str) -> Option<BenchmarkSpec> {
 /// ("omitted benchmarks access the DRAM infrequently").
 pub fn fig13_subset() -> Vec<&'static str> {
     vec![
-        "403", "410", "429", "433", "434", "436", "437", "447", "450", "459", "462", "470",
-        "471", "473", "481", "483",
+        "403", "410", "429", "433", "434", "436", "437", "447", "450", "459", "462", "470", "471",
+        "473", "481", "483",
     ]
 }
 
@@ -413,10 +408,7 @@ fn b458() -> BenchmarkSpec {
     spec(
         "458",
         "sjeng",
-        vec![
-            branchy(6, 500, 128 * KB, 4, 24),
-            gather(1 * MB, 6 * MB, 5),
-        ],
+        vec![branchy(6, 500, 128 * KB, 4, 24), gather(MB, 6 * MB, 5)],
         Schedule::Interleaved(vec![4, 1]),
     )
 }
@@ -452,7 +444,7 @@ fn b464() -> BenchmarkSpec {
         "464",
         "h264ref",
         vec![
-            stream(4, 1 * MB, vec![1], 6, 4, false, 5),
+            stream(4, MB, vec![1], 6, 4, false, 5),
             compute(12, 300, 2, 256 * KB, 4, 16),
         ],
         Schedule::Interleaved(vec![2, 3]),
@@ -620,11 +612,7 @@ mod tests {
                     lines.insert(m.vaddr.0 >> 6);
                 }
             }
-            assert!(
-                lines.len() > 500,
-                "{id} touched only {} lines",
-                lines.len()
-            );
+            assert!(lines.len() > 500, "{id} touched only {} lines", lines.len());
         }
     }
 }

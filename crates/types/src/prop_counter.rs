@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn proportion_preserved_after_halving() {
         let mut c = ProportionalCounters::new(2, 6); // CMAX = 63
-        // Increment 0 twice as often as 1; ratio survives halving roughly.
+                                                     // Increment 0 twice as often as 1; ratio survives halving roughly.
         for _ in 0..200 {
             c.increment(0);
             c.increment(0);

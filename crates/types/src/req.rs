@@ -10,7 +10,6 @@ use core::fmt;
 
 /// Identifies one of the (up to four) simulated cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreId(pub u8);
 
 impl CoreId {
@@ -29,7 +28,6 @@ impl fmt::Display for CoreId {
 
 /// What kind of access the core performed at the L1 level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// Data load.
     Load,
@@ -54,7 +52,6 @@ impl AccessKind {
 /// have the lowest priority for L3 access and may be cancelled at any time
 /// (§5.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ReqClass {
     /// Demand miss (instruction or data).
     Demand,
@@ -74,7 +71,6 @@ impl ReqClass {
 
 /// The cache levels of the simulated hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemLevel {
     /// First-level instruction cache.
     Il1,

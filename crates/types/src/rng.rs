@@ -74,7 +74,7 @@ impl SplitMix64 {
 
 impl Default for SplitMix64 {
     fn default() -> Self {
-        SplitMix64::new(0x5EED_0F_BEEF)
+        SplitMix64::new(0x005E_ED0F_BEEF)
     }
 }
 

@@ -2,28 +2,28 @@
 //! (OoO core, TLBs, TAGE, L1/L2/L3, fill queues, DDR3) with next-line vs
 //! Best-Offset L2 prefetching.
 //!
-//! Run with: `cargo run --release -p bosim --example full_system [id]`
+//! Run with: `cargo run --release -p bosim-bench --example full_system [id]`
 
-use bosim::{L2PrefetcherKind, SimConfig, System};
+use bosim::{prefetchers, SimConfig, System};
 use bosim_trace::suite;
 
 fn main() {
     let id = std::env::args().nth(1).unwrap_or_else(|| "470".to_string());
-    let spec = suite::benchmark(&id)
-        .unwrap_or_else(|| panic!("unknown benchmark {id} (try 400..483)"));
+    let spec =
+        suite::benchmark(&id).unwrap_or_else(|| panic!("unknown benchmark {id} (try 400..483)"));
     println!("benchmark: {}", spec.name);
 
     let mut results = Vec::new();
     for (name, kind) in [
-        ("next-line", L2PrefetcherKind::NextLine),
-        ("BO", L2PrefetcherKind::Bo(Default::default())),
+        ("next-line", prefetchers::next_line()),
+        ("BO", prefetchers::bo_default()),
     ] {
-        let cfg = SimConfig {
-            warmup_instructions: 200_000,
-            measure_instructions: 1_000_000,
-            ..Default::default()
-        }
-        .with_prefetcher(kind);
+        let cfg = SimConfig::builder()
+            .warmup(200_000)
+            .instructions(1_000_000)
+            .prefetcher(kind)
+            .build()
+            .expect("Table 1 defaults are valid");
         let res = System::new(&cfg, &spec).run();
         println!(
             "{name:>10}: IPC {:.3} | DL1 miss/ki {:.1} | L2 miss/ki {:.1} | DRAM acc/ki {:.1} | prefetches issued {}",

@@ -2,7 +2,7 @@
 //! periods (2 and 3 lines) can both be prefetched perfectly with an
 //! offset that is a multiple of 6 — and BO finds one.
 //!
-//! Run with: `cargo run --release -p bosim --example interleaved_streams`
+//! Run with: `cargo run --release -p bosim-bench --example interleaved_streams`
 
 use best_offset::{AccessOutcome, BestOffsetPrefetcher, L2Access, L2Prefetcher};
 use bosim_types::{LineAddr, PageSize};

@@ -1,7 +1,7 @@
 //! Watch a learning phase in detail: scores accumulating per offset and
 //! the effect of BADSCORE throttling on random traffic (§4.1, §4.3).
 //!
-//! Run with: `cargo run --release -p bosim --example offset_learning`
+//! Run with: `cargo run --release -p bosim-bench --example offset_learning`
 
 use best_offset::{AccessOutcome, BestOffsetPrefetcher, L2Access, L2Prefetcher};
 use bosim_types::{mix64, LineAddr, PageSize};
@@ -44,10 +44,13 @@ fn main() {
     let mut bo = BestOffsetPrefetcher::with_defaults(PageSize::M4);
     let mut line = 0u64;
     for round in 0..6 {
-        drive(&mut bo, (0..2_000).map(|_| {
-            line += 2;
-            line
-        }));
+        drive(
+            &mut bo,
+            (0..2_000).map(|_| {
+                line += 2;
+                line
+            }),
+        );
         println!(
             "round {}: D = {:>3} on = {:>5} top scores {:?}",
             round,

@@ -1,61 +1,44 @@
 //! Compare every L2 prefetcher in the repo (none, next-line, fixed D=5,
-//! SBP, BO) on a selection of benchmarks — a miniature of the paper's
-//! whole evaluation.
+//! SBP, AMPM, BO) on a selection of benchmarks — a miniature of the
+//! paper's whole evaluation, expressed as one `Experiment`.
 //!
-//! Run with: `cargo run --release -p bosim --example prefetcher_shootout`
+//! Extra prefetchers can be pulled from the open registry by name:
+//! `BOSIM_EXTRA_PREFETCHERS=offset-12,offset-32` adds two more arms
+//! without touching this file.
+//!
+//! Run with: `cargo run --release -p bosim-bench --example prefetcher_shootout`
 
-use bosim::{run_jobs, Job, L2PrefetcherKind, SimConfig};
-use bosim_stats::{geometric_mean, Align, Table};
-use bosim_trace::suite;
+use bosim::{prefetchers, registry, PrefetcherHandle, SimConfig};
+use bosim_bench::Experiment;
 
 fn main() {
-    let ids = ["429", "433", "459", "462", "470", "471"];
-    let variants = [
-        ("none", L2PrefetcherKind::None),
-        ("next-line", L2PrefetcherKind::NextLine),
-        ("D=5", L2PrefetcherKind::Fixed(5)),
-        ("SBP", L2PrefetcherKind::Sbp(Default::default())),
-        ("AMPM", L2PrefetcherKind::Ampm(Default::default())),
-        ("BO", L2PrefetcherKind::Bo(Default::default())),
+    let base = SimConfig::builder()
+        .warmup(100_000)
+        .instructions(400_000)
+        .build()
+        .expect("Table 1 defaults are valid");
+    let mut variants: Vec<(String, PrefetcherHandle)> = vec![
+        ("none".into(), prefetchers::none()),
+        ("D=5".into(), prefetchers::fixed(5)),
+        ("SBP".into(), prefetchers::sbp_default()),
+        ("AMPM".into(), prefetchers::ampm_default()),
+        ("BO".into(), prefetchers::bo_default()),
     ];
-    let mut jobs = Vec::new();
-    for id in &ids {
-        let bench = suite::benchmark(id).expect("known id");
-        for (_, kind) in &variants {
-            jobs.push(Job {
-                bench: bench.clone(),
-                config: SimConfig {
-                    warmup_instructions: 100_000,
-                    measure_instructions: 400_000,
-                    ..Default::default()
-                }
-                .with_prefetcher(kind.clone()),
-            });
+    if let Ok(extra) = std::env::var("BOSIM_EXTRA_PREFETCHERS") {
+        for name in extra.split(',').filter(|s| !s.trim().is_empty()) {
+            let handle = registry()
+                .lookup(name)
+                .unwrap_or_else(|| panic!("unknown prefetcher {name:?} (see registry().names())"));
+            variants.push((handle.name(), handle));
         }
     }
-    let results = run_jobs(&jobs, bosim::default_threads());
-
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(variants.iter().map(|(n, _)| format!("{n} IPC")));
-    let mut t = Table::new(header);
-    t.align(
-        std::iter::once(Align::Left).chain(std::iter::repeat(Align::Right).take(variants.len())),
-    );
-    let mut per_variant_speedups = vec![Vec::new(); variants.len()];
-    for (bi, id) in ids.iter().enumerate() {
-        let row_res = &results[bi * variants.len()..(bi + 1) * variants.len()];
-        let mut cells = vec![id.to_string()];
-        for (vi, r) in row_res.iter().enumerate() {
-            cells.push(format!("{:.3}", r.ipc()));
-            // Speedup vs the next-line baseline (index 1).
-            per_variant_speedups[vi].push(r.ipc() / row_res[1].ipc());
-        }
-        t.row(cells);
+    let mut e = Experiment::new(
+        "prefetcher_shootout",
+        "Prefetcher shootout: speedup over the next-line baseline",
+    )
+    .benchmark_ids(&["429", "433", "459", "462", "470", "471"]);
+    for (label, handle) in variants {
+        e = e.arm_vs(label, base.clone().with_prefetcher(handle), base.clone());
     }
-    let mut gm_cells = vec!["GM speedup vs next-line".to_string()];
-    for sp in &per_variant_speedups {
-        gm_cells.push(format!("{:.3}", geometric_mean(sp.iter().copied()).unwrap()));
-    }
-    t.row(gm_cells);
-    println!("{t}");
+    e.run_and_emit();
 }

@@ -5,7 +5,7 @@
 //! to generate those two event streams realistically. This example feeds
 //! it a strided access pattern directly and watches it learn the offset.
 //!
-//! Run with: `cargo run --release -p bosim --example quickstart`
+//! Run with: `cargo run --release -p bosim-bench --example quickstart`
 
 use best_offset::{AccessOutcome, BestOffsetPrefetcher, L2Access, L2Prefetcher};
 use bosim_types::{LineAddr, PageSize};

@@ -1,0 +1,170 @@
+//! Coverage for the unified experiment API: the validating `SimConfig`
+//! builder, the prefetcher registry and the structured `Report` output.
+
+use bosim::{prefetchers, registry, ConfigError, SimConfig};
+use bosim_bench::{ArmReport, Layout, Report, RunSummary};
+use bosim_types::PageSize;
+
+#[test]
+fn builder_accepts_table1_defaults() {
+    let cfg = SimConfig::builder().build().expect("defaults valid");
+    assert_eq!(cfg.label(), "4KB/1-core/next-line");
+}
+
+#[test]
+fn builder_composes_the_paper_variants() {
+    let cfg = SimConfig::builder()
+        .page(PageSize::M4)
+        .cores(4)
+        .prefetcher(prefetchers::bo_default())
+        .warmup(1_000)
+        .instructions(5_000)
+        .build()
+        .expect("valid");
+    assert_eq!(cfg.label(), "4MB/4-core/BO");
+    assert_eq!(cfg.measure_instructions, 5_000);
+}
+
+#[test]
+fn builder_rejects_zero_cores() {
+    assert_eq!(
+        SimConfig::builder().cores(0).build().unwrap_err(),
+        ConfigError::ZeroCores
+    );
+}
+
+#[test]
+fn builder_rejects_zero_way_caches() {
+    assert_eq!(
+        SimConfig::builder()
+            .l2_geometry(512 << 10, 0)
+            .build()
+            .unwrap_err(),
+        ConfigError::ZeroWays { cache: "L2" }
+    );
+    assert_eq!(
+        SimConfig::builder()
+            .l3_geometry(8 << 20, 0)
+            .build()
+            .unwrap_err(),
+        ConfigError::ZeroWays { cache: "L3" }
+    );
+}
+
+#[test]
+fn config_errors_display_the_constraint() {
+    let err = SimConfig::builder().cores(9).build().unwrap_err();
+    assert!(err.to_string().contains("maximum"), "{err}");
+}
+
+/// The registry round-trips all six built-in prefetchers by name.
+#[test]
+fn registry_round_trips_builtins() {
+    for handle in [
+        prefetchers::none(),
+        prefetchers::next_line(),
+        prefetchers::fixed(5),
+        prefetchers::bo_default(),
+        prefetchers::sbp_default(),
+        prefetchers::ampm_default(),
+    ] {
+        let name = handle.name();
+        let resolved = registry()
+            .lookup(&name)
+            .unwrap_or_else(|| panic!("{name} must resolve"));
+        assert_eq!(resolved.name(), name, "round trip of {name}");
+        // The resolved spec builds a working prefetcher.
+        let cfg = SimConfig::default();
+        let _ = resolved.build(&cfg);
+    }
+}
+
+#[test]
+fn registry_lists_builtin_names() {
+    let names = registry().names();
+    for expected in ["none", "next-line", "bo", "sbp", "ampm", "offset-<D>"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "{expected} in {names:?}"
+        );
+    }
+}
+
+fn sample_report() -> Report {
+    Report {
+        name: "snapshot".into(),
+        title: "Snapshot fixture".into(),
+        metric: "speedup".into(),
+        benchmarks: vec!["429".into(), "433".into()],
+        arms: vec![ArmReport {
+            series: "BO".into(),
+            group: None,
+            config: "4KB/1-core/BO".into(),
+            baseline: Some("4KB/1-core/next-line".into()),
+            values: vec![1.5, 0.75],
+            gm: Some(1.0606601717798212),
+            runs: vec![RunSummary {
+                benchmark: "429.mcf-like".into(),
+                config: "4KB/1-core/BO".into(),
+                ipc: 0.5,
+                dram_per_ki: 12.25,
+                l2_miss_per_ki: 30.5,
+                instructions: 1_000_000,
+                cycles: 2_000_000,
+            }],
+        }],
+        layout: Layout::BenchRows,
+        with_gm: true,
+        decimals: 3,
+    }
+}
+
+/// The JSON serialisation is stable — downstream tooling parses it.
+#[test]
+fn report_json_snapshot() {
+    let expected = concat!(
+        "{\n",
+        "  \"name\": \"snapshot\",\n",
+        "  \"title\": \"Snapshot fixture\",\n",
+        "  \"metric\": \"speedup\",\n",
+        "  \"benchmarks\": [\n",
+        "    \"429\",\n",
+        "    \"433\"\n",
+        "  ],\n",
+        "  \"arms\": [\n",
+        "    {\n",
+        "      \"series\": \"BO\",\n",
+        "      \"group\": null,\n",
+        "      \"config\": \"4KB/1-core/BO\",\n",
+        "      \"baseline\": \"4KB/1-core/next-line\",\n",
+        "      \"gm\": 1.0606601717798212,\n",
+        "      \"values\": [\n",
+        "        1.5,\n",
+        "        0.75\n",
+        "      ],\n",
+        "      \"runs\": [\n",
+        "        {\n",
+        "          \"benchmark\": \"429.mcf-like\",\n",
+        "          \"config\": \"4KB/1-core/BO\",\n",
+        "          \"ipc\": 0.5,\n",
+        "          \"dram_per_ki\": 12.25,\n",
+        "          \"l2_miss_per_ki\": 30.5,\n",
+        "          \"instructions\": 1000000,\n",
+        "          \"cycles\": 2000000\n",
+        "        }\n",
+        "      ]\n",
+        "    }\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(sample_report().to_json().to_pretty(), expected);
+}
+
+#[test]
+fn report_writes_json_file() {
+    let dir = std::env::temp_dir().join("bosim_report_test");
+    let path = sample_report().write_json(&dir).expect("writable");
+    let body = std::fs::read_to_string(&path).expect("file exists");
+    assert!(body.contains("\"name\": \"snapshot\""));
+    let _ = std::fs::remove_file(&path);
+}

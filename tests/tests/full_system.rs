@@ -1,6 +1,6 @@
 //! Full-system integration tests across all crates.
 
-use bosim::{L2PrefetcherKind, SimConfig, System};
+use bosim::{prefetchers, SimConfig, System};
 use bosim_trace::suite;
 use bosim_types::PageSize;
 
@@ -32,7 +32,7 @@ fn six_baselines_smoke() {
 #[test]
 fn determinism() {
     let spec = suite::benchmark("470").expect("exists");
-    let cfg = quick(PageSize::K4, 1).with_prefetcher(L2PrefetcherKind::Bo(Default::default()));
+    let cfg = quick(PageSize::K4, 1).with_prefetcher(prefetchers::bo_default());
     let a = System::new(&cfg, &spec).run();
     let b = System::new(&cfg, &spec).run();
     assert_eq!(a.cycles, b.cycles);
@@ -75,7 +75,7 @@ fn next_line_helps_streams() {
     let spec = suite::benchmark("437").expect("exists");
     let with = System::new(&quick(PageSize::K4, 1), &spec).run();
     let without = System::new(
-        &quick(PageSize::K4, 1).with_prefetcher(L2PrefetcherKind::None),
+        &quick(PageSize::K4, 1).with_prefetcher(prefetchers::none()),
         &spec,
     )
     .run();
@@ -95,7 +95,7 @@ fn prefetchers_do_not_change_architectural_counts() {
     let spec = suite::benchmark("433").expect("exists");
     let base = System::new(&quick(PageSize::M4, 1), &spec).run();
     let bo = System::new(
-        &quick(PageSize::M4, 1).with_prefetcher(L2PrefetcherKind::Bo(Default::default())),
+        &quick(PageSize::M4, 1).with_prefetcher(prefetchers::bo_default()),
         &spec,
     )
     .run();

@@ -1,10 +1,10 @@
 //! Cross-prefetcher behaviour on the key benchmarks of the evaluation.
 
-use bosim::{L2PrefetcherKind, SimConfig, System};
+use bosim::{prefetchers, SimConfig, System};
 use bosim_trace::suite;
 use bosim_types::PageSize;
 
-fn run(id: &str, kind: L2PrefetcherKind, page: PageSize) -> bosim::SimResult {
+fn run(id: &str, kind: bosim::PrefetcherHandle, page: PageSize) -> bosim::SimResult {
     let spec = suite::benchmark(id).expect("known benchmark");
     let cfg = SimConfig {
         // BO needs a couple of learning phases before its offset settles,
@@ -23,8 +23,8 @@ fn run(id: &str, kind: L2PrefetcherKind, page: PageSize) -> bosim::SimResult {
 #[test]
 fn bo_beats_next_line_on_stride_benchmarks() {
     for id in ["470", "433"] {
-        let nl = run(id, L2PrefetcherKind::NextLine, PageSize::M4);
-        let bo = run(id, L2PrefetcherKind::Bo(Default::default()), PageSize::M4);
+        let nl = run(id, prefetchers::next_line(), PageSize::M4);
+        let bo = run(id, prefetchers::bo_default(), PageSize::M4);
         assert!(
             bo.ipc() > nl.ipc() * 1.02,
             "{id}: BO {} vs next-line {}",
@@ -38,8 +38,8 @@ fn bo_beats_next_line_on_stride_benchmarks() {
 /// slow it down much (throttling keeps useless prefetches rare).
 #[test]
 fn bo_harmless_on_pointer_chase() {
-    let nl = run("429", L2PrefetcherKind::NextLine, PageSize::K4);
-    let bo = run("429", L2PrefetcherKind::Bo(Default::default()), PageSize::K4);
+    let nl = run("429", prefetchers::next_line(), PageSize::K4);
+    let bo = run("429", prefetchers::bo_default(), PageSize::K4);
     assert!(
         bo.ipc() > nl.ipc() * 0.93,
         "BO {} vs next-line {}",
@@ -52,9 +52,9 @@ fn bo_harmless_on_pointer_chase() {
 /// workloads (Figure 8: peaks at multiples of 5): it must beat D=4.
 #[test]
 fn lbm_prefers_multiples_of_5() {
-    let d4 = run("470", L2PrefetcherKind::Fixed(4), PageSize::M4);
-    let d5 = run("470", L2PrefetcherKind::Fixed(5), PageSize::M4);
-    let d10 = run("470", L2PrefetcherKind::Fixed(10), PageSize::M4);
+    let d4 = run("470", prefetchers::fixed(4), PageSize::M4);
+    let d5 = run("470", prefetchers::fixed(5), PageSize::M4);
+    let d10 = run("470", prefetchers::fixed(10), PageSize::M4);
     assert!(
         d5.ipc() > d4.ipc() * 1.1,
         "D=5 {} vs D=4 {}",
@@ -72,8 +72,8 @@ fn lbm_prefers_multiples_of_5() {
 /// milc-like only rewards offsets that are multiples of 32 (Figure 8).
 #[test]
 fn milc_prefers_multiples_of_32() {
-    let d31 = run("433", L2PrefetcherKind::Fixed(31), PageSize::M4);
-    let d32 = run("433", L2PrefetcherKind::Fixed(32), PageSize::M4);
+    let d31 = run("433", prefetchers::fixed(31), PageSize::M4);
+    let d32 = run("433", prefetchers::fixed(32), PageSize::M4);
     assert!(
         d32.ipc() > d31.ipc() * 1.05,
         "D=32 {} vs D=31 {}",
@@ -86,8 +86,8 @@ fn milc_prefers_multiples_of_32() {
 /// prefetcher; BO's edge is timeliness, not correctness).
 #[test]
 fn sbp_beats_next_line_on_streams() {
-    let nl = run("462", L2PrefetcherKind::NextLine, PageSize::M4);
-    let sbp = run("462", L2PrefetcherKind::Sbp(Default::default()), PageSize::M4);
+    let nl = run("462", prefetchers::next_line(), PageSize::M4);
+    let sbp = run("462", prefetchers::sbp_default(), PageSize::M4);
     assert!(
         sbp.ipc() > nl.ipc(),
         "SBP {} vs next-line {}",
