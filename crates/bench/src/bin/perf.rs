@@ -1,0 +1,51 @@
+//! `perf` — the simulator-throughput harness.
+//!
+//! Runs every selected benchmark twice on the same configuration — once
+//! with the naive every-cycle system loop, once with idle-stretch
+//! fast-forwarding — asserts the results are bit-identical, and reports
+//! sim-cycles/sec, µops/sec and the optimized/naive speedup per
+//! benchmark plus an aggregate `TOTAL` column. The JSON report lands in
+//! `BENCH_throughput.json` under the report directory.
+//!
+//! Environment knobs: `BOSIM_BENCHMARKS`, `BOSIM_INSTRUCTIONS`,
+//! `BOSIM_WARMUP`, `BOSIM_REPORT_DIR` (see the crate docs), plus
+//! `BOSIM_PERF_REPS` (default 3): timed repetitions per mode, keeping
+//! the fastest. Runs are serial by design — wall-clock timing would be
+//! noise otherwise.
+
+use bosim::SimConfig;
+use bosim_bench::{measure_suite, selected_benchmarks, throughput_report};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let benches = selected_benchmarks();
+    let reps: usize = std::env::var("BOSIM_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    eprintln!(
+        "[perf] {} benchmarks × 2 modes × {} reps, {} + {} instructions each (serial)",
+        benches.len(),
+        reps,
+        cfg.warmup_instructions,
+        cfg.measure_instructions,
+    );
+    let pairs = measure_suite(&cfg, &benches, reps);
+    for p in &pairs {
+        eprintln!(
+            "[perf] {:<16} stepped {:>5.1}% of {:.1} Mcycles, {:.2}x",
+            p.naive.benchmark,
+            p.optimized.steps as f64 / p.optimized.sim_cycles as f64 * 100.0,
+            p.optimized.sim_cycles as f64 / 1e6,
+            p.speedup(),
+        );
+    }
+    let report = throughput_report(&cfg, &pairs);
+    report.emit();
+    let total_speedup = report
+        .arms
+        .last()
+        .and_then(|a| a.values.last().copied())
+        .unwrap_or(f64::NAN);
+    eprintln!("[perf] aggregate speedup (opt/naive sim-cycles/s): {total_speedup:.2}x");
+}

@@ -5,7 +5,10 @@
 //! labelled configuration arms, an optional per-arm baseline, a metric
 //! and a table layout. The harness owns job deduplication, worker
 //! threading, speedup pairing and structured [`Report`] output (TSV +
-//! aligned text on stdout, JSON under `target/reports/`).
+//! aligned text on stdout, JSON under `target/reports/`). The `perf`
+//! binary ([`measure_suite`]/[`throughput_report`]) measures simulator
+//! throughput itself — sim-cycles/sec, µops/sec, optimized vs naive —
+//! and writes `BENCH_throughput.json`.
 //!
 //! ```no_run
 //! use bosim::{prefetchers, SimConfig};
@@ -35,11 +38,15 @@
 
 mod experiment;
 mod report;
+mod throughput;
 
 pub use experiment::{
     six_baseline_gm_variants, six_baseline_speedup, Experiment, ExperimentError, Metric, VariantFn,
 };
 pub use report::{ArmReport, Layout, Report, RunSummary};
+pub use throughput::{
+    measure, measure_suite, throughput_report, ThroughputMeasurement, ThroughputPair,
+};
 
 use bosim_trace::{suite, BenchmarkSpec};
 use bosim_types::PageSize;

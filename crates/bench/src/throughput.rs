@@ -1,0 +1,276 @@
+//! Simulator-throughput measurement (the `perf` binary).
+//!
+//! The paper's figures sweep dozens of configurations through the
+//! cycle-accurate model, so *simulator* throughput — sim-cycles/sec and
+//! µops/sec of wall-clock time — bounds how many scenarios are
+//! explorable. This module measures it: every benchmark runs twice on
+//! identical configurations, once with the naive every-cycle system loop
+//! ([`SimConfig::fast_forward`] off) and once with idle-stretch
+//! fast-forwarding (the default), and the two [`SimResult`]s are
+//! asserted bit-identical before any rate is reported. The output rides
+//! the existing [`Report`] machinery: `BENCH_throughput.json` lands in
+//! the report directory next to the figure reports.
+//!
+//! Runs are strictly serial — parallel workers would share memory
+//! bandwidth and turn the wall-clock numbers into noise.
+
+use crate::report::{ArmReport, Layout, Report, RunSummary};
+use bosim::{SimConfig, SimResult, System};
+use bosim_trace::BenchmarkSpec;
+use std::time::Instant;
+
+/// One timed simulation: simulated work per second of wall clock.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeasurement {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Total simulated cycles (warm-up + measured window).
+    pub sim_cycles: u64,
+    /// Cycles actually stepped (the rest were fast-forwarded).
+    pub steps: u64,
+    /// Total µops retired by core 0 (warm-up + measured window).
+    pub uops: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// The measured-window result (for the invariance check).
+    pub result: SimResult,
+}
+
+impl ThroughputMeasurement {
+    /// Simulated megacycles per wall-clock second.
+    pub fn mcycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds / 1e6
+    }
+
+    /// Retired µops (core 0) per wall-clock second, in millions.
+    pub fn muops_per_sec(&self) -> f64 {
+        self.uops as f64 / self.wall_seconds / 1e6
+    }
+}
+
+/// Runs `bench` once under `cfg` and times it.
+pub fn measure(cfg: &SimConfig, bench: &BenchmarkSpec) -> ThroughputMeasurement {
+    let mut sys = System::new(cfg, bench);
+    let start = Instant::now();
+    let result = sys.run();
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    ThroughputMeasurement {
+        benchmark: bench.name.clone(),
+        sim_cycles: sys.cycle(),
+        steps: sys.steps_executed(),
+        uops: sys.core0_stats().retired,
+        wall_seconds: wall,
+        result,
+    }
+}
+
+/// A naive/optimized measurement pair for one benchmark.
+#[derive(Debug, Clone)]
+pub struct ThroughputPair {
+    /// Every-cycle loop (`fast_forward` off).
+    pub naive: ThroughputMeasurement,
+    /// Fast-forwarding loop (`fast_forward` on).
+    pub optimized: ThroughputMeasurement,
+}
+
+impl ThroughputPair {
+    /// Optimized over naive sim-cycles/sec.
+    pub fn speedup(&self) -> f64 {
+        self.optimized.mcycles_per_sec() / self.naive.mcycles_per_sec()
+    }
+}
+
+/// Measures the whole `benches` grid: `reps` interleaved naive and
+/// optimized runs per benchmark, keeping the fastest wall-clock run of
+/// each mode (the minimum rejects scheduler and frequency noise, which
+/// only ever slows a run down). A short discarded simulation up front
+/// absorbs process start-up costs so neither mode pays them.
+///
+/// # Panics
+///
+/// Panics if any benchmark's naive and optimized runs disagree on any
+/// counter of the measured window — fast-forwarding must be invisible
+/// in the results, and a throughput number for a *different* simulation
+/// would be meaningless.
+pub fn measure_suite(
+    base: &SimConfig,
+    benches: &[BenchmarkSpec],
+    reps: usize,
+) -> Vec<ThroughputPair> {
+    let reps = reps.max(1);
+    if let Some(first) = benches.first() {
+        let mut warm = base.clone();
+        warm.warmup_instructions = 5_000;
+        warm.measure_instructions = 20_000;
+        let _ = measure(&warm, first);
+    }
+    let mut naive_cfg = base.clone();
+    naive_cfg.fast_forward = false;
+    naive_cfg.naive_hot_path = true;
+    let mut opt_cfg = base.clone();
+    opt_cfg.fast_forward = true;
+    opt_cfg.naive_hot_path = false;
+    benches
+        .iter()
+        .map(|bench| {
+            let fastest = |best: Option<ThroughputMeasurement>, m: ThroughputMeasurement| match best
+            {
+                Some(b) if b.wall_seconds <= m.wall_seconds => Some(b),
+                _ => Some(m),
+            };
+            let mut naive: Option<ThroughputMeasurement> = None;
+            let mut optimized: Option<ThroughputMeasurement> = None;
+            for _ in 0..reps {
+                let n = measure(&naive_cfg, bench);
+                let o = measure(&opt_cfg, bench);
+                assert_eq!(
+                    n.result, o.result,
+                    "{}: fast-forward must be cycle-exact",
+                    bench.name
+                );
+                assert_eq!(n.sim_cycles, o.sim_cycles, "{}", bench.name);
+                naive = fastest(naive, n);
+                optimized = fastest(optimized, o);
+            }
+            ThroughputPair {
+                naive: naive.expect("reps >= 1"),
+                optimized: optimized.expect("reps >= 1"),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate rate: total simulated cycles over total wall seconds.
+fn total_mcycles_per_sec(ms: &[&ThroughputMeasurement]) -> f64 {
+    let cycles: u64 = ms.iter().map(|m| m.sim_cycles).sum();
+    let wall: f64 = ms.iter().map(|m| m.wall_seconds).sum();
+    cycles as f64 / wall.max(1e-9) / 1e6
+}
+
+fn total_muops_per_sec(ms: &[&ThroughputMeasurement]) -> f64 {
+    let uops: u64 = ms.iter().map(|m| m.uops).sum();
+    let wall: f64 = ms.iter().map(|m| m.wall_seconds).sum();
+    uops as f64 / wall.max(1e-9) / 1e6
+}
+
+/// Builds the `BENCH_throughput` report: one column per benchmark plus
+/// a `TOTAL` column (aggregate rates, not means), one row per metric.
+/// The `speedup` row's `TOTAL` cell is the headline number: optimized
+/// over naive aggregate sim-cycles/sec.
+pub fn throughput_report(base: &SimConfig, pairs: &[ThroughputPair]) -> Report {
+    let mut benchmarks: Vec<String> = pairs
+        .iter()
+        .map(|p| crate::short_label(&p.naive.benchmark))
+        .collect();
+    benchmarks.push("TOTAL".to_string());
+
+    let naive: Vec<&ThroughputMeasurement> = pairs.iter().map(|p| &p.naive).collect();
+    let optimized: Vec<&ThroughputMeasurement> = pairs.iter().map(|p| &p.optimized).collect();
+
+    let arm = |series: &str, values: Vec<f64>, runs: &[&ThroughputMeasurement]| ArmReport {
+        series: series.to_string(),
+        group: None,
+        config: base.label(),
+        baseline: None,
+        values,
+        gm: None,
+        runs: runs.iter().map(|m| RunSummary::from(&m.result)).collect(),
+    };
+
+    let rates =
+        |ms: &[&ThroughputMeasurement], f: fn(&ThroughputMeasurement) -> f64, total: f64| {
+            let mut v: Vec<f64> = ms.iter().map(|m| f(m)).collect();
+            v.push(total);
+            v
+        };
+    let mut speedups: Vec<f64> = pairs.iter().map(ThroughputPair::speedup).collect();
+    speedups.push(total_mcycles_per_sec(&optimized) / total_mcycles_per_sec(&naive));
+
+    Report {
+        name: "BENCH_throughput".to_string(),
+        title: format!(
+            "Simulator throughput, {} (naive vs optimized)",
+            base.label()
+        ),
+        metric: "sim-Mcycles/s".to_string(),
+        benchmarks,
+        arms: vec![
+            arm(
+                "naive Mcyc/s",
+                rates(
+                    &naive,
+                    ThroughputMeasurement::mcycles_per_sec,
+                    total_mcycles_per_sec(&naive),
+                ),
+                &naive,
+            ),
+            arm(
+                "opt Mcyc/s",
+                rates(
+                    &optimized,
+                    ThroughputMeasurement::mcycles_per_sec,
+                    total_mcycles_per_sec(&optimized),
+                ),
+                &optimized,
+            ),
+            arm(
+                "naive Muops/s",
+                rates(
+                    &naive,
+                    ThroughputMeasurement::muops_per_sec,
+                    total_muops_per_sec(&naive),
+                ),
+                &naive,
+            ),
+            arm(
+                "opt Muops/s",
+                rates(
+                    &optimized,
+                    ThroughputMeasurement::muops_per_sec,
+                    total_muops_per_sec(&optimized),
+                ),
+                &optimized,
+            ),
+            arm("speedup", speedups, &optimized),
+        ],
+        layout: Layout::ArmRows,
+        with_gm: false,
+        decimals: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bosim_trace::suite;
+
+    #[test]
+    fn measure_pairs_are_invariant_and_report_shapes_up() {
+        let cfg = SimConfig {
+            warmup_instructions: 2_000,
+            measure_instructions: 10_000,
+            ..Default::default()
+        };
+        let benches = vec![
+            suite::benchmark("462").expect("exists"),
+            suite::benchmark("444").expect("exists"),
+        ];
+        let pairs = measure_suite(&cfg, &benches, 1);
+        assert_eq!(pairs.len(), 2);
+        for p in &pairs {
+            assert!(p.naive.sim_cycles > 0);
+            assert!(p.naive.wall_seconds > 0.0);
+            assert!(p.speedup() > 0.0);
+        }
+        let report = throughput_report(&cfg, &pairs);
+        assert_eq!(report.name, "BENCH_throughput");
+        assert_eq!(report.benchmarks.len(), 3, "two benchmarks plus TOTAL");
+        assert_eq!(report.arms.len(), 5);
+        for a in &report.arms {
+            assert_eq!(a.values.len(), 3);
+        }
+        let tsv = report.table().to_tsv();
+        assert!(tsv.contains("speedup"), "{tsv}");
+        assert!(tsv.contains("TOTAL"), "{tsv}");
+    }
+}

@@ -11,7 +11,11 @@
 //!   late-prefetch promotion (§5.4),
 //! * [`PrefetchQueue`] — the 8-entry lowest-priority L2 prefetch queue
 //!   with oldest-drop (§5.4),
-//! * [`MshrFile`] — the DL1's 32-entry MSHR file (Table 1).
+//! * [`MshrFile`] — the DL1's 32-entry MSHR file (Table 1),
+//! * [`LineIndex`] — the small open-addressed line→slot index backing
+//!   the queues' O(1) CAM searches (both queues also offer a
+//!   `new_linear` constructor reproducing the naive scan, used as the
+//!   throughput harness's baseline).
 //!
 //! # Examples
 //!
@@ -32,9 +36,11 @@
 
 mod array;
 mod fill;
+mod line_index;
 pub mod policy;
 mod queues;
 
 pub use array::{CacheArray, Evicted, HitInfo};
 pub use fill::{FillEntry, FillQueue};
+pub use line_index::LineIndex;
 pub use queues::{MshrEntry, MshrFile, PrefetchQueue};

@@ -1,0 +1,199 @@
+//! A small open-addressed line→slot index.
+//!
+//! The fill and prefetch queues are CAM-searched on every redundancy
+//! check — a per-candidate, per-miss operation on the simulator's hot
+//! path. The queues themselves stay tiny (8–32 entries), but a linear
+//! scan per probe adds up at hundreds of millions of simulated cycles.
+//! [`LineIndex`] gives those probes O(1) expected cost: linear probing
+//! over a power-of-two table with backward-shift deletion (no
+//! tombstones), sized at construction so the load factor stays ≤ 0.5.
+
+use bosim_types::LineAddr;
+
+/// Sentinel for an empty table slot. Line addresses are byte addresses
+/// shifted right by six, so `u64::MAX` can never be a real line.
+const EMPTY: u64 = u64::MAX;
+
+/// An open-addressed map from [`LineAddr`] to a small slot id.
+///
+/// Keys must be unique (inserting a present key is a caller bug) and
+/// `u64::MAX` is reserved as the empty sentinel.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl LineIndex {
+    /// Creates an index able to hold `cap` entries at load factor ≤ 0.5.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(2) * 2).next_power_of_two();
+        LineIndex {
+            keys: vec![EMPTY; slots],
+            vals: vec![0; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        // Fibonacci hashing: multiply and keep the top bits.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn probe(&self, key: u64) -> Option<usize> {
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up the slot id stored for `line`.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<u32> {
+        debug_assert_ne!(line.0, EMPTY, "u64::MAX is the empty sentinel");
+        self.probe(line.0).map(|i| self.vals[i])
+    }
+
+    /// True when `line` is present.
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.probe(line.0).is_some()
+    }
+
+    /// Inserts `line → slot`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `line` is absent and the table is not full.
+    pub fn insert(&mut self, line: LineAddr, slot: u32) {
+        debug_assert_ne!(line.0, EMPTY, "u64::MAX is the empty sentinel");
+        debug_assert!(self.len <= self.mask, "index sized for ≤ 0.5 load");
+        debug_assert!(!self.contains(line), "duplicate line in queue index");
+        let mut i = self.home(line.0);
+        while self.keys[i] != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        self.keys[i] = line.0;
+        self.vals[i] = slot;
+        self.len += 1;
+    }
+
+    /// Removes `line`, returning its slot id. Uses backward-shift
+    /// deletion so lookups never have to skip tombstones.
+    pub fn remove(&mut self, line: LineAddr) -> Option<u32> {
+        let mut i = self.probe(line.0)?;
+        let val = self.vals[i];
+        self.len -= 1;
+        // Backward shift: close the hole at `i` by moving any later
+        // cluster member whose home lies at or before `i`.
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            let h = self.home(k);
+            // `k` may move to `i` iff `i` is cyclically within [h, j).
+            if (j.wrapping_sub(h) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                self.keys[i] = k;
+                self.vals[i] = self.vals[j];
+                i = j;
+            }
+        }
+        self.keys[i] = EMPTY;
+        Some(val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bosim_types::SplitMix64;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut ix = LineIndex::with_capacity(16);
+        ix.insert(LineAddr(0), 3);
+        ix.insert(LineAddr(7), 1);
+        assert_eq!(ix.get(LineAddr(0)), Some(3));
+        assert_eq!(ix.get(LineAddr(7)), Some(1));
+        assert_eq!(ix.get(LineAddr(8)), None);
+        assert_eq!(ix.remove(LineAddr(0)), Some(3));
+        assert_eq!(ix.get(LineAddr(0)), None);
+        assert_eq!(ix.get(LineAddr(7)), Some(1));
+        assert_eq!(ix.remove(LineAddr(0)), None);
+        assert_eq!(ix.len(), 1);
+    }
+
+    /// Backward-shift deletion must keep every surviving key reachable,
+    /// whatever the collision pattern. Randomized against a HashMap.
+    #[test]
+    fn randomized_against_reference_map() {
+        let mut rng = SplitMix64::new(0x11DE);
+        for round in 0..64u64 {
+            let cap = 4 + (round as usize % 29);
+            let mut ix = LineIndex::with_capacity(cap);
+            let mut reference: HashMap<u64, u32> = HashMap::new();
+            for step in 0..400 {
+                // Small key universe to force collisions and re-insertions.
+                let key = rng.next_u64() % 64;
+                let insert = rng.next_u64().is_multiple_of(2) && reference.len() < cap;
+                if insert && !reference.contains_key(&key) {
+                    ix.insert(LineAddr(key), step);
+                    reference.insert(key, step);
+                } else if !insert {
+                    assert_eq!(ix.remove(LineAddr(key)), reference.remove(&key));
+                }
+                assert_eq!(ix.len(), reference.len());
+                for k in 0..64u64 {
+                    assert_eq!(
+                        ix.get(LineAddr(k)),
+                        reference.get(&k).copied(),
+                        "round {round} step {step} key {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survives_full_occupancy_churn() {
+        let mut ix = LineIndex::with_capacity(8);
+        // Fill to declared capacity, then rotate every entry.
+        for i in 0..8u64 {
+            ix.insert(LineAddr(i * 1024), i as u32);
+        }
+        for i in 0..8u64 {
+            assert_eq!(ix.remove(LineAddr(i * 1024)), Some(i as u32));
+            ix.insert(LineAddr(i * 1024 + 1), i as u32);
+        }
+        for i in 0..8u64 {
+            assert_eq!(ix.get(LineAddr(i * 1024 + 1)), Some(i as u32));
+        }
+    }
+}

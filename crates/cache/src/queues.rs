@@ -1,5 +1,6 @@
 //! The L2 prefetch queue and the DL1 MSHR file.
 
+use crate::line_index::LineIndex;
 use bosim_types::{Cycle, LineAddr};
 use std::collections::VecDeque;
 
@@ -8,10 +9,18 @@ use std::collections::VecDeque;
 /// 8-entry prefetch queue until they can access the L3 cache. When a
 /// prefetch request is inserted into the queue, and if the queue is full,
 /// the oldest request is cancelled."
+///
+/// The CAM search runs once per prefetch candidate (a hot-path
+/// redundancy check), so membership is tracked in a [`LineIndex`]
+/// alongside the FIFO: `contains` is O(1), and the scan cost is paid
+/// only on actual removals.
 #[derive(Debug)]
 pub struct PrefetchQueue {
     cap: usize,
     entries: VecDeque<LineAddr>,
+    index: LineIndex,
+    /// Linear-scan mode (the throughput harness's naive baseline).
+    linear: bool,
     /// Number of requests cancelled by overflow (statistics).
     pub cancelled: u64,
 }
@@ -23,10 +32,26 @@ impl PrefetchQueue {
     ///
     /// Panics if `cap == 0`.
     pub fn new(cap: usize) -> Self {
+        Self::with_mode(cap, false)
+    }
+
+    /// Creates a prefetch queue whose CAM searches scan linearly (the
+    /// naive baseline the throughput harness measures against).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new_linear(cap: usize) -> Self {
+        Self::with_mode(cap, true)
+    }
+
+    fn with_mode(cap: usize, linear: bool) -> Self {
         assert!(cap > 0);
         PrefetchQueue {
             cap,
             entries: VecDeque::with_capacity(cap),
+            index: LineIndex::with_capacity(cap),
+            linear,
             cancelled: 0,
         }
     }
@@ -45,34 +70,61 @@ impl PrefetchQueue {
     /// request is cancelled. Duplicate requests are dropped (the queue is
     /// "associatively searched" before insertion, §6.3 fn. 13).
     pub fn push(&mut self, line: LineAddr) {
-        if self.entries.contains(&line) {
+        if self.contains(line) {
             return;
         }
         if self.entries.len() >= self.cap {
-            self.entries.pop_front();
+            let oldest = self.entries.pop_front().expect("full ⇒ nonempty");
+            if !self.linear {
+                self.index.remove(oldest);
+            }
             self.cancelled += 1;
         }
         self.entries.push_back(line);
+        if !self.linear {
+            self.index.insert(line, 0);
+        }
     }
 
     /// Pops the oldest pending prefetch request.
     pub fn pop(&mut self) -> Option<LineAddr> {
-        self.entries.pop_front()
+        let line = self.entries.pop_front()?;
+        if !self.linear {
+            self.index.remove(line);
+        }
+        Some(line)
     }
 
     /// CAM search.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.contains(&line)
+        if self.linear {
+            self.entries.contains(&line)
+        } else {
+            self.index.contains(line)
+        }
     }
 
     /// Removes a matching request (e.g. the line just got demanded).
     pub fn remove(&mut self, line: LineAddr) -> bool {
-        match self.entries.iter().position(|&l| l == line) {
-            Some(p) => {
-                self.entries.remove(p);
-                true
+        if self.linear {
+            match self.entries.iter().position(|&l| l == line) {
+                Some(pos) => {
+                    self.entries.remove(pos);
+                    true
+                }
+                None => false,
             }
-            None => false,
+        } else {
+            if self.index.remove(line).is_none() {
+                return false;
+            }
+            let pos = self
+                .entries
+                .iter()
+                .position(|&l| l == line)
+                .expect("indexed line is queued");
+            self.entries.remove(pos);
+            true
         }
     }
 }

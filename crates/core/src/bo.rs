@@ -501,6 +501,98 @@ mod tests {
         }
     }
 
+    /// Degree-2 across phase boundaries: a phase that elects a distinct
+    /// runner-up issues two prefetches per access (`issued` counts
+    /// both); when a later phase's runner-up scores ≤ BADSCORE,
+    /// `second_offset` collapses back to `offset` and only one prefetch
+    /// is issued again.
+    #[test]
+    fn degree_2_second_offset_tracks_phase_boundaries() {
+        let cfg = BoConfig {
+            degree: 2,
+            round_max: 2, // two tests of every offset per phase
+            ..Default::default()
+        };
+        let n = cfg.offsets.len();
+        assert_eq!((cfg.offsets.get(0), cfg.offsets.get(1)), (1, 2));
+        let mut p = BestOffsetPrefetcher::new(cfg, PageSize::M4);
+
+        // Fresh, far-apart mid-page addresses: probes of untouched lines
+        // never hit the RR table.
+        let mut fresh = 0x1000_8000u64;
+        let mut next_fresh = || {
+            fresh += 100_000;
+            fresh
+        };
+
+        // Phase 0: two rounds of non-matching accesses turn prefetch off
+        // (every score is 0 ≤ BADSCORE).
+        for _ in 0..2 * n {
+            access(&mut p, next_fresh());
+        }
+        assert_eq!(p.stats().phases, 1);
+        assert!(!p.is_prefetching());
+
+        // Phase 1 (prefetch off ⇒ fills seed the RR table with D = 0):
+        // score offset 1 (list index 0) and offset 2 (index 1) twice
+        // each. Index 0 reaches best first, so offset 1 wins and offset
+        // 2 becomes the runner-up with score 2 > BADSCORE.
+        for ti in 0..2 * n {
+            match ti % n {
+                0 => {
+                    let s = next_fresh();
+                    p.on_fill(LineAddr(s), false);
+                    access(&mut p, s + 1); // probes (s+1) − 1 = s: hit
+                }
+                1 => {
+                    let s = next_fresh();
+                    p.on_fill(LineAddr(s), false);
+                    access(&mut p, s + 2); // probes (s+2) − 2 = s: hit
+                }
+                _ => {
+                    access(&mut p, next_fresh());
+                }
+            }
+        }
+        assert_eq!(p.stats().phases, 2);
+        assert!(p.is_prefetching());
+        assert_eq!(p.current_offset(), 1);
+        assert_eq!(p.second_offset(), 2, "distinct runner-up adopted");
+
+        // Both offsets are prefetched, and `issued` counts both.
+        let issued_before = p.stats().issued;
+        let z = next_fresh();
+        p.on_fill(LineAddr(z), true); // seeds z − 1: scores offset 1 below
+        let out = access(&mut p, z);
+        assert_eq!(out, vec![LineAddr(z + 1), LineAddr(z + 2)]);
+        assert_eq!(p.stats().issued, issued_before + 2);
+
+        // Phase 2: only offset 1 keeps scoring (the z access above was
+        // this phase's first test of index 0; one more at the round
+        // boundary). Offset 2 falls to 0 ≤ BADSCORE, so the runner-up
+        // collapses back onto the best offset.
+        for ti in 1..2 * n {
+            if ti % n == 0 {
+                let s = next_fresh();
+                p.on_fill(LineAddr(s + 1), true); // prefetch on: seeds s
+                access(&mut p, s + 1);
+            } else {
+                access(&mut p, next_fresh());
+            }
+        }
+        assert_eq!(p.stats().phases, 3);
+        assert!(p.is_prefetching(), "best score 2 > BADSCORE keeps it on");
+        assert_eq!(p.current_offset(), 1);
+        assert_eq!(
+            p.second_offset(),
+            p.current_offset(),
+            "runner-up ≤ BADSCORE must collapse to the best offset"
+        );
+        // Back to a single prefetch per access.
+        let out = access(&mut p, next_fresh());
+        assert_eq!(out.len(), 1);
+    }
+
     #[test]
     #[should_panic]
     fn degree_3_is_rejected() {

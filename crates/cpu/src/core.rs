@@ -101,7 +101,7 @@ pub enum UncoreRequest {
 }
 
 /// Core-level statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions retired.
     pub retired: u64,
@@ -692,6 +692,53 @@ impl Core {
                 return; // 1 taken branch per fetch cycle
             }
         }
+    }
+
+    /// The earliest cycle ≥ `from` at which [`tick`](Self::tick) can do
+    /// any work on its own, or [`Cycle::MAX`] when only an external
+    /// [`fill`](Self::fill) can wake the core (e.g. the ROB head is an
+    /// outstanding miss and the front end is blocked behind it).
+    ///
+    /// Used by the system loop to fast-forward through stall windows.
+    /// The bound is conservative: whenever the core *might* act next
+    /// cycle (dispatch can proceed, a store is draining, a retire was
+    /// width-limited) it returns `from` and no cycles are skipped.
+    pub fn next_work_cycle(&self, from: Cycle) -> Cycle {
+        let mut t = Cycle::MAX;
+        // Scheduled load issues / retries.
+        if let Some(&Reverse((et, _, _))) = self.events.peek() {
+            if et <= from {
+                return from;
+            }
+            t = t.min(et);
+        }
+        // Retirement: a completed head retires (or frees ROB space) at
+        // its completion cycle; an incomplete head waits on an event or
+        // an external fill, both accounted for elsewhere.
+        if let Some(head) = self.rob.front() {
+            match head.done_at {
+                Some(d) if d > from => t = t.min(d),
+                Some(_) => return from,
+                None => {}
+            }
+        }
+        // Committed stores drain (and probe the DL1) every cycle.
+        if !self.store_buffer.is_empty() {
+            return from;
+        }
+        // Front end.
+        if self.ifetch_pending.is_none() {
+            if from < self.fetch_stalled_until {
+                // u64::MAX is the mispredict sentinel: the redirect time
+                // is set when the branch completes (covered above).
+                if self.fetch_stalled_until != Cycle::MAX {
+                    t = t.min(self.fetch_stalled_until);
+                }
+            } else if self.rob.len() < self.cfg.rob_size {
+                return from; // dispatch will make progress
+            }
+        }
+        t
     }
 
     /// One-line state dump for stall diagnostics.

@@ -195,6 +195,82 @@ impl Channel {
         }
     }
 
+    /// Lower bound on the earliest cycle a CAS or preparatory command
+    /// for `loc` could issue, from the bank and bus timing state alone.
+    fn request_ready_bound(&self, t: &DdrTimings, loc: DramLoc, is_write: bool) -> Cycle {
+        let b = &self.banks[loc.bank as usize];
+        match b.need(loc.row) {
+            BankNeed::Cas => {
+                let data_lat = t.core(if is_write { t.t_cwl } else { t.t_cl });
+                let mut c = b.cas_ok_at.max(self.bus_free_at.saturating_sub(data_lat));
+                if !is_write {
+                    c = c.max(self.read_ok_at);
+                }
+                c
+            }
+            BankNeed::Precharge => b.pre_ok_at,
+            BankNeed::Activate => b.act_ok_at,
+        }
+    }
+
+    /// The earliest cycle ≥ `from` at which this channel can do any work
+    /// (`None` when fully idle). Completions are exact; command times are
+    /// a lower bound over *every* queued request, whichever one the
+    /// scheduling mode would actually pick — early is safe, late never
+    /// happens. Bank and queue state is frozen while the system is
+    /// quiescent, so the bound stays valid across the whole skip.
+    fn next_event(&self, cfg: &MemConfig, from: Cycle) -> Option<Cycle> {
+        let t = &cfg.timings;
+        let mut next: Option<Cycle> = None;
+        let mut fold = |x: Cycle| {
+            next = Some(next.map_or(x, |n: Cycle| n.min(x)));
+        };
+        if let Some(&Reverse((ct, _, _, _))) = self.completions.peek() {
+            fold(ct.max(from));
+        }
+        let reads = self.pending_reads();
+        let writes = self.pending_writes();
+        if reads == 0 && writes == 0 && self.writes_left == 0 {
+            return next;
+        }
+        let boundary = |c: Cycle| {
+            c.max(from)
+                .next_multiple_of(CORE_CYCLES_PER_BUS_CYCLE.max(1))
+        };
+        // Transient bookkeeping acts at the very next boundary: a write
+        // batch starting, or a drained batch counter resetting.
+        let any_full = self
+            .write_q
+            .iter()
+            .any(|q| q.len() >= cfg.write_queue_cap - 1);
+        let would_start_batch = self.writes_left == 0
+            && writes > 0
+            && (any_full || (reads == 0 && writes >= cfg.write_batch));
+        if would_start_batch || (self.writes_left > 0 && writes == 0) {
+            fold(boundary(from));
+            return next;
+        }
+        let mut cmd = Cycle::MAX;
+        // Reads can issue in steady or urgent mode; include them all.
+        for q in &self.read_q {
+            for r in q {
+                cmd = cmd.min(self.request_ready_bound(t, r.loc, false));
+            }
+        }
+        // Writes only issue while a batch is in progress.
+        if self.writes_left > 0 {
+            for q in &self.write_q {
+                for r in q {
+                    cmd = cmd.min(self.request_ready_bound(t, r.loc, true));
+                }
+            }
+        }
+        if cmd != Cycle::MAX {
+            fold(boundary(cmd));
+        }
+        next
+    }
+
     /// Picks the served core: lowest fairness counter among cores with
     /// pending reads; falls back to the current one.
     fn pick_served(&self) -> usize {
@@ -428,6 +504,35 @@ impl MemorySystem {
             s.urgent_reads += ch.stats.urgent_reads;
         }
         s
+    }
+
+    /// The earliest cycle ≥ `from` at which [`tick`](Self::tick) can do
+    /// any work, or `None` when the memory system is fully idle (no
+    /// queued requests, no write batch in progress, no data in flight).
+    ///
+    /// Completion times are exact; command times are a per-request bank
+    /// timing lower bound rounded up to the bus-cycle boundary commands
+    /// actually issue on. The bound may be early (the step turns out to
+    /// be a no-op and the caller re-computes) but never late — no state
+    /// change is ever skipped.
+    pub fn next_event(&self, from: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        for ch in &self.channels {
+            if let Some(t) = ch.next_event(&self.cfg, from) {
+                next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+            }
+        }
+        next
+    }
+
+    /// Total queued reads and writes across all channels — the work
+    /// [`next_event`](Self::next_event) has to walk. Callers use this to
+    /// decide whether computing the bound is worth it.
+    pub fn queue_depth(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|ch| ch.pending_reads() + ch.pending_writes())
+            .sum()
     }
 
     /// Oldest pending read arrival (diagnostics; `None` when idle).

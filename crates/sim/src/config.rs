@@ -23,9 +23,11 @@ use bosim_cpu::CoreConfig;
 use bosim_types::PageSize;
 use std::fmt;
 
-/// Most cores a [`System`](crate::System) can simulate (§5 evaluates up
-/// to four active cores).
-pub const MAX_CORES: usize = 4;
+/// Most cores a [`System`](crate::System) can simulate. The paper's
+/// evaluation (§5) uses up to four active cores; the uncore model itself
+/// sizes every per-core structure dynamically, so the only hard bound is
+/// the [`CoreId`](bosim_types::CoreId) encoding (a `u8`).
+pub const MAX_CORES: usize = 256;
 
 /// One full-system simulation configuration.
 ///
@@ -73,6 +75,18 @@ pub struct SimConfig {
     pub measure_instructions: u64,
     /// Master seed (translation hashes, policy randomisation).
     pub seed: u64,
+    /// Fast-forward through provably idle stretches: when every core and
+    /// the whole uncore report no work before a known future cycle, the
+    /// system loop jumps straight to it. Cycle-exact — results are
+    /// bit-identical with the naive every-cycle loop (the golden-stats
+    /// test pins this) — so it defaults to on; the throughput harness
+    /// turns it off to measure the naive baseline.
+    pub fast_forward: bool,
+    /// Naive hot path: linear CAM scans in the fill/prefetch queues and
+    /// full per-cycle polling of every uncore subsystem — the pre-
+    /// optimization behaviour. Cycle-exact identical results, much
+    /// slower; exists purely as the throughput harness's baseline.
+    pub naive_hot_path: bool,
 }
 
 impl Default for SimConfig {
@@ -96,6 +110,8 @@ impl Default for SimConfig {
             warmup_instructions: default_warmup(),
             measure_instructions: default_instructions(),
             seed: 0xB05EED,
+            fast_forward: true,
+            naive_hot_path: false,
         }
     }
 }
@@ -343,6 +359,20 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables or disables idle-stretch fast-forwarding (on by default;
+    /// see [`SimConfig::fast_forward`]).
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.cfg.fast_forward = enabled;
+        self
+    }
+
+    /// Selects the naive (linear-scan, fully-polled) hot path — the
+    /// throughput harness's baseline (see [`SimConfig::naive_hot_path`]).
+    pub fn naive_hot_path(mut self, enabled: bool) -> Self {
+        self.cfg.naive_hot_path = enabled;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -418,9 +448,17 @@ mod tests {
 
     #[test]
     fn builder_rejects_too_many_cores() {
+        // The bound is the CoreId encoding, not the paper's four-core
+        // evaluation grid: 256 cores validate, 257 do not.
+        assert!(SimConfig::builder().cores(MAX_CORES).build().is_ok());
         assert_eq!(
-            SimConfig::builder().cores(5).build().unwrap_err(),
-            ConfigError::TooManyCores { requested: 5 }
+            SimConfig::builder()
+                .cores(MAX_CORES + 1)
+                .build()
+                .unwrap_err(),
+            ConfigError::TooManyCores {
+                requested: MAX_CORES + 1
+            }
         );
     }
 

@@ -8,7 +8,11 @@ use bosim_trace::{suite, BenchmarkSpec};
 use bosim_types::{CoreId, Cycle, LineAddr, ReqClass};
 
 /// The result of one measured simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter bit-for-bit — the golden-stats
+/// invariance test relies on this to prove the fast-forwarding system
+/// loop exactly reproduces the naive per-cycle loop.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Benchmark name (e.g. `"433.milc-like"`).
     pub benchmark: String,
@@ -55,6 +59,8 @@ pub struct System {
     cores: Vec<Core>,
     uncore: Uncore,
     cycle: Cycle,
+    /// Cycles actually stepped (≤ `cycle`; the rest were fast-forwarded).
+    steps: u64,
     benchmark: String,
     req_buf: Vec<UncoreRequest>,
     fill_buf: Vec<(CoreId, LineAddr)>,
@@ -66,12 +72,12 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.active_cores` is 0 or greater than 4.
+    /// Panics if the configuration fails [`SimConfig::validate`] (e.g.
+    /// `active_cores` is 0 or beyond [`crate::MAX_CORES`]).
     pub fn new(cfg: &SimConfig, bench: &BenchmarkSpec) -> Self {
-        assert!(
-            (1..=4).contains(&cfg.active_cores),
-            "active_cores must be 1..=4"
-        );
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         let mut core_cfg = cfg.core.clone();
         core_cfg.stride_prefetcher = cfg.dl1_stride;
         let mut cores = Vec::new();
@@ -95,6 +101,7 @@ impl System {
             uncore: Uncore::new(cfg),
             cores,
             cycle: 0,
+            steps: 0,
             benchmark: bench.name.clone(),
             req_buf: Vec::with_capacity(64),
             fill_buf: Vec::with_capacity(64),
@@ -105,6 +112,13 @@ impl System {
     /// The current cycle.
     pub fn cycle(&self) -> Cycle {
         self.cycle
+    }
+
+    /// Cycles actually stepped so far. With fast-forwarding off this
+    /// equals [`cycle`](Self::cycle); with it on, the difference is the
+    /// number of skipped (provably idle) cycles.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps
     }
 
     /// Immutable access to the uncore (prefetcher introspection).
@@ -122,13 +136,20 @@ impl System {
         self.cores[0].stats()
     }
 
-    /// Advances the system by one cycle.
-    pub fn step(&mut self) {
+    /// Advances the system by one cycle. Returns `true` when the cycle
+    /// was visibly active — a fill was delivered or a core emitted an
+    /// uncore request. Quiet cycles are where fast-forwarding looks for
+    /// skippable stretches (activity makes an immediate skip unlikely,
+    /// so the bound computation isn't worth paying for).
+    pub fn step(&mut self) -> bool {
         let now = self.cycle;
+        self.steps += 1;
+        let mut active = false;
         // Uncore first: deliver due fills into the cores (may produce
         // writebacks, handled immediately).
         self.fill_buf.clear();
         self.uncore.tick(now, &mut self.fill_buf);
+        active |= !self.fill_buf.is_empty();
         for i in 0..self.fill_buf.len() {
             let (core, line) = self.fill_buf[i];
             self.req_buf.clear();
@@ -142,12 +163,14 @@ impl System {
         for c in 0..self.cores.len() {
             self.req_buf.clear();
             self.cores[c].tick(now, &mut self.req_buf);
+            active |= !self.req_buf.is_empty();
             for r in 0..self.req_buf.len() {
                 let req = self.req_buf[r];
                 self.dispatch_request(CoreId(c as u8), req, now);
             }
         }
         self.cycle += 1;
+        active
     }
 
     fn dispatch_request(&mut self, core: CoreId, req: UncoreRequest, now: Cycle) {
@@ -166,8 +189,31 @@ impl System {
         }
     }
 
+    /// The earliest cycle ≥ `from` at which any core or the uncore can
+    /// make progress on its own ([`Cycle::MAX`] = only a genuine
+    /// deadlock: nothing in flight anywhere).
+    fn next_event(&self, from: Cycle) -> Cycle {
+        // Core bounds are a handful of O(1) checks and deny most skips
+        // (an unstalled core works every cycle) — test them before the
+        // uncore walks its queues.
+        let mut t = Cycle::MAX;
+        for core in &self.cores {
+            t = t.min(core.next_work_cycle(from));
+            if t <= from {
+                return from;
+            }
+        }
+        t.min(self.uncore.next_event_cycle(from))
+    }
+
     /// Runs until core 0 has retired `instructions` more instructions (or
     /// the safety cycle cap is hit).
+    ///
+    /// With [`SimConfig::fast_forward`] on (the default), idle stretches
+    /// — every core stalled on memory, every uncore queue quiescent, the
+    /// next event cycle known — are skipped instead of stepped through.
+    /// Skipped cycles are provable no-ops, so the simulation stays
+    /// cycle-exact; only wall-clock time changes.
     fn run_until_retired(&mut self, instructions: u64) -> u64 {
         let start_retired = self.cores[0].retired();
         let target = start_retired + instructions;
@@ -176,7 +222,18 @@ impl System {
         // (deadlock guard for development; never triggered in practice).
         let cycle_cap = self.cycle + instructions * 500 + 1_000_000;
         while self.cores[0].retired() < target && self.cycle < cycle_cap {
-            self.step();
+            let active = self.step();
+            // Never fast-forward once the window boundary is reached:
+            // the skip would push `cycle` past the stopping point and
+            // shift the next window's start relative to the naive loop.
+            if self.cfg.fast_forward && !active && self.cores[0].retired() < target {
+                let next = self.next_event(self.cycle);
+                if next > self.cycle {
+                    // Cap the jump so a genuine deadlock (next == MAX)
+                    // still lands on the cycle-cap diagnostics.
+                    self.cycle = next.min(cycle_cap);
+                }
+            }
         }
         assert!(
             self.cores[0].retired() >= target,

@@ -57,7 +57,10 @@ struct L3Req {
     core: CoreId,
     class: ReqClass,
     ifetch: bool,
-    /// Already counted in the L3 access statistics (stalled retries).
+    /// The L3 access was already counted (stalled retries). Hit/miss
+    /// classification is deferred to the arrival that *services* the
+    /// request, so those counters stay monotonic — a measurement-window
+    /// snapshot can never land between a count and a correction.
     counted: bool,
 }
 
@@ -127,12 +130,19 @@ pub struct Uncore {
     /// Dirty L3 victims waiting for a DRAM write-queue slot.
     wb_buf: VecDeque<(LineAddr, CoreId)>,
     completions: Vec<ReadCompletion>,
+    /// Per-core scratch for [`drain_l3_fq`](Self::drain_l3_fq): does the
+    /// core need a *new* L2 fill-queue entry for the forwarded block?
+    fwd_needs_entry: Vec<bool>,
+    /// Naive mode: poll every subsystem every cycle (no idle skipping
+    /// inside [`tick`](Self::tick)); queues scan linearly.
+    naive: bool,
     stats: UncoreStats,
 }
 
 impl Uncore {
     /// Builds the uncore for `active_cores` cores.
     pub fn new(cfg: &SimConfig) -> Self {
+        let naive = cfg.naive_hot_path;
         let l2s = (0..cfg.active_cores)
             .map(|i| L2 {
                 array: CacheArray::new(
@@ -142,8 +152,16 @@ impl Uncore {
                     cfg.active_cores,
                     cfg.seed ^ (i as u64 + 10),
                 ),
-                fq: FillQueue::new(cfg.l2_fill_queue),
-                pq: PrefetchQueue::new(cfg.prefetch_queue),
+                fq: if naive {
+                    FillQueue::new_linear(cfg.l2_fill_queue)
+                } else {
+                    FillQueue::new(cfg.l2_fill_queue)
+                },
+                pq: if naive {
+                    PrefetchQueue::new_linear(cfg.prefetch_queue)
+                } else {
+                    PrefetchQueue::new(cfg.prefetch_queue)
+                },
                 prefetcher: cfg.l2_prefetcher.build(cfg),
                 stalled: VecDeque::new(),
                 ready_q: VecDeque::new(),
@@ -160,7 +178,11 @@ impl Uncore {
                 cfg.active_cores,
                 cfg.seed ^ 99,
             ),
-            l3_fq: FillQueue::new(cfg.l3_fill_queue),
+            l3_fq: if naive {
+                FillQueue::new_linear(cfg.l3_fill_queue)
+            } else {
+                FillQueue::new(cfg.l3_fill_queue)
+            },
             l3_in: VecDeque::new(),
             l3_stalled: VecDeque::new(),
             mem: MemorySystem::new(MemConfig {
@@ -169,6 +191,8 @@ impl Uncore {
             }),
             wb_buf: VecDeque::new(),
             completions: Vec::new(),
+            fwd_needs_entry: vec![false; cfg.active_cores],
+            naive,
             stats: UncoreStats::default(),
             l2s,
             cfg: cfg.clone(),
@@ -388,18 +412,46 @@ impl Uncore {
             self.stats.l3_accesses += 1;
         }
         if self.l3.access(req.line, false).is_some() {
-            if !req.counted {
-                self.stats.l3_hits += 1;
+            if req.counted {
+                // A stalled-then-retried request whose block landed in
+                // the L3 while it waited (another core's fill or a
+                // writeback-allocate). Its L2 fill-queue entry was
+                // released on the first (miss) arrival, so it must be
+                // re-reserved before the L3-hit data can be accepted.
+                // The request is recorded as a hit — no DRAM fetch of
+                // its own services it (classification happens here, at
+                // service time, never at the stalled first arrival).
+                let l2 = &mut self.l2s[req.core.index()];
+                if let Some(e) = l2.fq.find_mut(req.line) {
+                    if req.class == ReqClass::Demand {
+                        e.class = ReqClass::Demand;
+                    }
+                    e.payload.to_il1 |= req.ifetch;
+                    e.payload.to_dl1 |= !req.ifetch && req.class != ReqClass::L2Prefetch;
+                } else if !l2.fq.try_reserve(
+                    req.line,
+                    req.class,
+                    L2Meta {
+                        to_il1: req.ifetch,
+                        to_dl1: !req.ifetch && req.class != ReqClass::L2Prefetch,
+                    },
+                ) {
+                    // No free L2 entry: the retry stays stalled.
+                    self.l3_stalled.push_back(req);
+                    return;
+                }
             }
+            self.stats.l3_hits += 1;
             // Data returns to the requesting L2 after the L3 latency.
             self.l2s[req.core.index()]
                 .ready_q
                 .push_back((now + self.cfg.l3_latency, req.line));
             return;
         }
-        if !req.counted {
-            self.stats.l3_misses += 1;
-        }
+        // The miss is recorded at the terminal outcome below (merge,
+        // fill-queue reservation, or prefetch cancellation) rather than
+        // here: a stalled request stays unclassified until the retry
+        // that services it, keeping every counter monotonic.
         req.counted = true;
         // §5.4: on an L3 miss, the L2 fill-queue entry is released
         // immediately ("the L1/L2 miss request becomes an L1/L2/L3 miss
@@ -419,6 +471,7 @@ impl Uncore {
                 e.class = ReqClass::Demand;
             }
             e.payload.forwards.push(fwd);
+            self.stats.l3_misses += 1;
             self.stats.l3_fill_merges += 1;
             return;
         }
@@ -429,6 +482,7 @@ impl Uncore {
         {
             if req.class == ReqClass::L2Prefetch {
                 // Prefetches are cancelled, not retried (§5.4).
+                self.stats.l3_misses += 1;
                 self.stats.l2_prefetches_cancelled += 1;
             } else {
                 self.l3_stalled.push_back(req);
@@ -444,6 +498,7 @@ impl Uncore {
             },
         );
         debug_assert!(reserved, "checked for space above");
+        self.stats.l3_misses += 1;
         let accepted = self.mem.enqueue_read(req.line, req.core, 0, now);
         debug_assert!(accepted, "checked for space above");
     }
@@ -454,14 +509,20 @@ impl Uncore {
         let Some(entry) = self.l3_fq.peek_ready() else {
             return;
         };
-        // All forward targets need a free L2 fill-queue entry; otherwise
-        // the insertion stalls this cycle (back-pressure).
-        let mut needed = [0usize; 8];
+        // Every forward target needs an L2 fill-queue entry; otherwise
+        // the insertion stalls this cycle (back-pressure). All forwards
+        // of an entry carry the *same* line, so multiple forwards to one
+        // core merge into a single L2 entry — and a core that already
+        // holds an entry for the line (a retried demand re-reserved it)
+        // needs no new one. Counting one free entry per *forward* here
+        // would stall L3 fills that could in fact proceed.
+        self.fwd_needs_entry.fill(false);
         for f in &entry.payload.forwards {
-            needed[f.core.index()] += 1;
+            self.fwd_needs_entry[f.core.index()] = true;
         }
-        for (c, &n) in needed.iter().enumerate().take(self.l2s.len()) {
-            if n > 0 && self.l2s[c].fq.capacity() - self.l2s[c].fq.len() < n {
+        let line = entry.line;
+        for (c, need) in self.fwd_needs_entry.iter().enumerate() {
+            if *need && self.l2s[c].fq.is_full() && self.l2s[c].fq.find(line).is_none() {
                 return;
             }
         }
@@ -489,13 +550,14 @@ impl Uncore {
         for f in entry.payload.forwards {
             let l2 = &mut self.l2s[f.core.index()];
             if let Some(e) = l2.fq.find_mut(entry.line) {
-                // A retried demand re-reserved it already: merge.
+                // A retried demand re-reserved it already, or an earlier
+                // forward of this entry targeted the same core: merge.
                 if f.class == ReqClass::Demand {
                     e.class = ReqClass::Demand;
                 }
                 e.payload.to_il1 |= f.to_il1;
                 e.payload.to_dl1 |= f.to_dl1;
-                e.ready = true;
+                l2.fq.set_ready(entry.line);
                 continue;
             }
             let ok = l2.fq.try_reserve(
@@ -599,7 +661,7 @@ impl Uncore {
                         .map(|e| format!(
                             "{:x}:{}{}",
                             e.line.0,
-                            if e.ready { "R" } else { "w" },
+                            if e.is_ready() { "R" } else { "w" },
                             match e.class {
                                 ReqClass::Demand => "D",
                                 ReqClass::L1Prefetch => "1",
@@ -621,7 +683,7 @@ impl Uncore {
             self.l3_fq.capacity(),
             self.l3_fq
                 .iter()
-                .map(|e| format!("{:x}:{}", e.line.0, if e.ready { "R" } else { "w" }))
+                .map(|e| format!("{:x}:{}", e.line.0, if e.is_ready() { "R" } else { "w" }))
                 .collect::<Vec<_>>()
                 .join(","),
             self.l3_in.len(),
@@ -633,6 +695,13 @@ impl Uncore {
 
     /// Advances the uncore by one cycle. Returns `(core, line)` fills due
     /// for delivery to the cores via [`bosim_cpu::Core::fill`].
+    ///
+    /// Idle subsystems are skipped outright: each stage below is guarded
+    /// by an O(1) occupancy / next-due check, so a quiescent uncore costs
+    /// a handful of branches per cycle instead of polling every queue.
+    /// The guards elide provable no-ops only — cycle-exact behaviour is
+    /// identical to the fully-polled loop (the golden-stats test in
+    /// `tests/tests/golden_stats.rs` pins this down).
     pub fn tick(&mut self, now: Cycle, fills: &mut Vec<(CoreId, LineAddr)>) {
         // 1. DRAM: completions make L3 fill-queue entries ready.
         self.completions.clear();
@@ -656,11 +725,26 @@ impl Uncore {
             self.l3_arrive(req, now);
         }
 
-        // 3. L3 fill-queue drain (one insertion per cycle).
-        self.drain_l3_fq(now);
+        // 3. L3 fill-queue drain (one insertion per cycle; O(1) no-op
+        // when no entry is ready).
+        if self.naive || self.l3_fq.has_ready() {
+            self.drain_l3_fq(now);
+        }
 
         // 4. Per-core L2 work.
         for c in 0..self.l2s.len() {
+            let l2 = &mut self.l2s[c];
+            let idle = !self.naive
+                && !l2.fq.has_ready()
+                && l2.stalled.is_empty()
+                && l2.pq.is_empty()
+                && l2.ready_q.front().is_none_or(|&(t, _)| t > now)
+                && l2.fill_out.front().is_none_or(|&(t, _)| t > now);
+            if idle {
+                // The demand-priority flag still ages out after one cycle.
+                l2.sent_demand_this_cycle = false;
+                continue;
+            }
             self.drain_l2_fq(c, now);
             // Retry one stalled demand request.
             if let Some(req) = self.l2s[c].stalled.pop_front() {
@@ -697,6 +781,61 @@ impl Uncore {
             } else {
                 break;
             }
+        }
+    }
+
+    /// The earliest cycle ≥ `from` at which [`tick`](Self::tick) can do
+    /// any work, or [`Cycle::MAX`] when the uncore is fully quiescent
+    /// (nothing in flight anywhere — only a new core request wakes it).
+    ///
+    /// Used by the system loop to fast-forward through idle stretches;
+    /// the bound is conservative (it may name a cycle where nothing
+    /// happens) but never late (it never skips a state change).
+    pub fn next_event_cycle(&self, from: Cycle) -> Cycle {
+        // Cheap denials first: retries and drains act every cycle while
+        // their queues hold anything.
+        if !self.l3_stalled.is_empty() || self.l3_fq.has_ready() || !self.wb_buf.is_empty() {
+            return from;
+        }
+        let mut t = Cycle::MAX;
+        if let Some(&(d, _)) = self.l3_in.front() {
+            if d <= from {
+                return from;
+            }
+            t = t.min(d);
+        }
+        for l2 in &self.l2s {
+            if l2.fq.has_ready() || !l2.stalled.is_empty() || !l2.pq.is_empty() {
+                return from;
+            }
+            if let Some(&(d, _)) = l2.ready_q.front() {
+                if d <= from {
+                    return from;
+                }
+                t = t.min(d);
+            }
+            if let Some(&(d, _)) = l2.fill_out.front() {
+                if d <= from {
+                    return from;
+                }
+                t = t.min(d);
+            }
+        }
+        // The queue bounds above are O(1); the DRAM bound walks every
+        // queued request. When the uncore queues already cap the skip at
+        // a few cycles AND the memory system is deeply queued, the walk
+        // cannot pay for itself — decline the skip (returning `from`
+        // means "step normally", which is always safe) instead of
+        // scanning the memory system.
+        const MIN_WORTHWHILE_SKIP: Cycle = 8;
+        const CHEAP_MEM_SCAN: usize = 16;
+        if t <= from + MIN_WORTHWHILE_SKIP && self.mem.queue_depth() > CHEAP_MEM_SCAN {
+            return from;
+        }
+        match self.mem.next_event(from) {
+            Some(e) if e <= from => from,
+            Some(e) => t.min(e),
+            None => t,
         }
     }
 }
@@ -892,6 +1031,109 @@ mod tests {
         }
         assert_eq!(u.stats().l3_hits, 1, "{:?}", u.stats());
         assert!(!fills.is_empty(), "L3 hit must return data quickly");
+    }
+
+    /// Regression (over-reservation): two forwards of the *same line* to
+    /// one core merge into a single L2 fill-queue entry, so the L3 drain
+    /// must count one needed entry, not one per forward. With a 1-entry
+    /// L2 fill queue the old per-forward count demanded two free slots —
+    /// impossible — and the fill stalled forever.
+    #[test]
+    fn same_line_forwards_to_one_core_need_one_entry() {
+        let cfg = SimConfig {
+            active_cores: 1,
+            page: PageSize::M4,
+            l2_prefetcher: crate::prefetchers::none(),
+            l2_fill_queue: 1,
+            ..Default::default()
+        };
+        let mut u = Uncore::new(&cfg);
+        let line = LineAddr(0x3000);
+        let mut fills = Vec::new();
+        // First demand: reserves the single L2 entry, reaches the L3 at
+        // +l2_latency, misses, releases the entry and goes to DRAM.
+        u.core_read(CoreId(0), line, ReqClass::Demand, false, 0);
+        for now in 0..20 {
+            u.tick(now, &mut fills);
+        }
+        // Re-request of the same line while the L3 fill is in flight:
+        // re-reserves the L2 entry and *merges* at the L3 fill queue —
+        // the entry now carries two forwards for core 0.
+        u.core_read(CoreId(0), line, ReqClass::Demand, false, 20);
+        for now in 21..40 {
+            u.tick(now, &mut fills);
+        }
+        assert_eq!(u.stats().l3_fill_merges, 1, "{:?}", u.stats());
+        assert!(fills.is_empty(), "DRAM not done yet");
+        let (_, got) = run_to_fill(&mut u, 40, 5000).expect("fill must not stall");
+        assert_eq!(got[0], (CoreId(0), line));
+    }
+
+    /// Regression: `drain_l3_fq` used a hard-coded 8-core scratch array
+    /// and panicked for larger machines. The scratch is sized from
+    /// `active_cores` now, matching the builder's core-count bound.
+    #[test]
+    fn uncore_handles_more_than_eight_cores() {
+        let cfg = SimConfig {
+            active_cores: 9,
+            page: PageSize::M4,
+            l2_prefetcher: crate::prefetchers::none(),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok(), "builder must agree with uncore");
+        let mut u = Uncore::new(&cfg);
+        u.core_read(CoreId(8), LineAddr(0x9999), ReqClass::Demand, false, 0);
+        let (_, fills) = run_to_fill(&mut u, 0, 5000).expect("fill arrives");
+        assert_eq!(fills[0], (CoreId(8), LineAddr(0x9999)));
+    }
+
+    /// Regression (L3 accounting): a request that misses, stalls on a
+    /// full L3 fill queue, and finds the block in the L3 when retried is
+    /// serviced as a hit — and must be *recorded* as one. Hit/miss
+    /// classification is deferred to the arrival that services the
+    /// request (a stalled request is unclassified), so the counters are
+    /// monotonic and `hits + misses == accesses` holds at quiescence.
+    #[test]
+    fn stalled_then_retried_request_recorded_as_hit() {
+        let cfg = SimConfig {
+            active_cores: 1,
+            page: PageSize::M4,
+            l2_prefetcher: crate::prefetchers::none(),
+            l3_fill_queue: 1,
+            ..Default::default()
+        };
+        let mut u = Uncore::new(&cfg);
+        let mut fills = Vec::new();
+        // A occupies the single L3 fill-queue entry (DRAM takes ≥104
+        // cycles); B arrives behind it and stalls, its access counted
+        // but its hit/miss classification pending.
+        u.core_read(CoreId(0), LineAddr(0x5000), ReqClass::Demand, false, 0);
+        for now in 0..15 {
+            u.tick(now, &mut fills);
+        }
+        let b = LineAddr(0x7000);
+        u.core_read(CoreId(0), b, ReqClass::Demand, false, 15);
+        for now in 15..30 {
+            u.tick(now, &mut fills);
+        }
+        let s = u.stats();
+        assert_eq!((s.l3_accesses, s.l3_hits, s.l3_misses), (2, 0, 1), "{s:?}");
+        // While B waits, dirty same-set writebacks evict B's line from
+        // the L2 into the L3 (write-allocate): the block lands in the L3
+        // before the retry can re-issue.
+        // L2 has 1024 sets, so lines k*1024 + 0x7000 share B's set.
+        u.core_writeback(CoreId(0), b);
+        for k in 1..=9u64 {
+            u.core_writeback(CoreId(0), LineAddr(b.0 + k * 1024));
+        }
+        assert!(fills.is_empty(), "nothing delivered yet");
+        // The next retry hits in the L3: miss reclassified as a hit, and
+        // the block still reaches the core (the released L2 entry is
+        // re-reserved).
+        let (_, got) = run_to_fill(&mut u, 30, 5000).expect("B must be serviced");
+        assert_eq!(got[0], (CoreId(0), b));
+        let s = u.stats();
+        assert_eq!((s.l3_accesses, s.l3_hits, s.l3_misses), (2, 1, 1), "{s:?}");
     }
 
     #[test]

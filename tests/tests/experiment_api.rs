@@ -53,7 +53,10 @@ fn builder_rejects_zero_way_caches() {
 
 #[test]
 fn config_errors_display_the_constraint() {
-    let err = SimConfig::builder().cores(9).build().unwrap_err();
+    let err = SimConfig::builder()
+        .cores(bosim::MAX_CORES + 1)
+        .build()
+        .unwrap_err();
     assert!(err.to_string().contains("maximum"), "{err}");
 }
 

@@ -1,0 +1,94 @@
+//! Golden-stats invariance: the optimized hot path (indexed queues,
+//! subsystem skipping, system-loop fast-forwarding) must produce
+//! *bit-identical* `SimResult`s — instructions, cycles, every core,
+//! uncore and DRAM counter — to the naive path (linear CAM scans, full
+//! per-cycle polling, no skipping) for fixed seeds across the synthetic
+//! suite. The optimizations are pure wall-clock wins; any counter drift
+//! here is a simulation bug, not a performance trade-off.
+
+use bosim::{prefetchers, PrefetcherHandle, SimConfig, SimResult, System};
+use bosim_trace::suite;
+use bosim_types::PageSize;
+
+fn run(cfg: &SimConfig, bench_id: &str) -> SimResult {
+    let bench = suite::benchmark(bench_id).expect("benchmark exists");
+    System::new(cfg, &bench).run()
+}
+
+fn assert_invariant(base: SimConfig, bench_id: &str) {
+    let mut naive = base.clone();
+    naive.fast_forward = false;
+    naive.naive_hot_path = true;
+    let mut optimized = base;
+    optimized.fast_forward = true;
+    optimized.naive_hot_path = false;
+    let a = run(&naive, bench_id);
+    let b = run(&optimized, bench_id);
+    assert_eq!(
+        a, b,
+        "{bench_id} [{}]: optimized hot path diverged from naive",
+        b.config
+    );
+}
+
+fn quick(prefetcher: PrefetcherHandle, seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_instructions: 10_000,
+        measure_instructions: 40_000,
+        l2_prefetcher: prefetcher,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// A behaviour-diverse slice of the suite: streaming, pointer-chasing,
+/// mixed, compute-bound and store-heavy benchmarks.
+const BENCHES: &[&str] = &["462", "429", "433", "444", "470", "401"];
+
+#[test]
+fn golden_stats_across_the_suite() {
+    for id in BENCHES {
+        assert_invariant(quick(prefetchers::next_line(), 0xB05EED), id);
+    }
+}
+
+#[test]
+fn golden_stats_with_bo_prefetcher() {
+    for id in &["462", "429"] {
+        assert_invariant(quick(prefetchers::bo_default(), 0xB05EED), id);
+    }
+}
+
+#[test]
+fn golden_stats_second_seed() {
+    for id in &["433", "471"] {
+        assert_invariant(quick(prefetchers::next_line(), 0x0005_EED2), id);
+    }
+}
+
+#[test]
+fn golden_stats_multicore_large_pages() {
+    let cfg = SimConfig {
+        active_cores: 2,
+        page: PageSize::M4,
+        warmup_instructions: 5_000,
+        measure_instructions: 20_000,
+        ..Default::default()
+    };
+    assert_invariant(cfg, "470");
+}
+
+#[test]
+fn golden_stats_no_prefetch_small_l3_queue() {
+    // Small L3 fill queue: exercises the stall/retry paths under
+    // back-pressure, where the bugfixed bookkeeping matters most.
+    let cfg = SimConfig {
+        l3_fill_queue: 2,
+        l2_fill_queue: 4,
+        l2_prefetcher: prefetchers::none(),
+        warmup_instructions: 5_000,
+        measure_instructions: 20_000,
+        ..Default::default()
+    };
+    assert_invariant(cfg, "429");
+}
