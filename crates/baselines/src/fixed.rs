@@ -5,7 +5,7 @@
 //! prefetches `X + 1`. Figure 7 and Figure 8 generalise this to arbitrary
 //! fixed offsets.
 
-use best_offset::{L2Access, L2Prefetcher};
+use best_offset::{L2Access, L2Prefetcher, TuneDirective};
 use bosim_types::{LineAddr, PageSize};
 
 /// An L2 prefetcher with a constant offset `D` (degree one).
@@ -16,6 +16,9 @@ pub struct FixedOffsetPrefetcher {
     offset: i64,
     page: PageSize,
     issued: u64,
+    /// External gate imposed by an adaptive tuning policy
+    /// (`TuneDirective::SetEnabled`).
+    enabled: bool,
 }
 
 impl FixedOffsetPrefetcher {
@@ -30,6 +33,7 @@ impl FixedOffsetPrefetcher {
             offset,
             page,
             issued: 0,
+            enabled: true,
         }
     }
 
@@ -51,7 +55,7 @@ impl FixedOffsetPrefetcher {
 
 impl L2Prefetcher for FixedOffsetPrefetcher {
     fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>) {
-        if !access.outcome.is_eligible() {
+        if !self.enabled || !access.outcome.is_eligible() {
             return;
         }
         if let Some(target) = access.line.checked_offset(self.offset, self.page) {
@@ -72,6 +76,16 @@ impl L2Prefetcher for FixedOffsetPrefetcher {
 
     fn page_size(&self) -> PageSize {
         self.page
+    }
+
+    fn reconfigure(&mut self, directive: &TuneDirective) -> bool {
+        match directive {
+            TuneDirective::SetEnabled(on) => {
+                self.enabled = *on;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -123,6 +137,17 @@ mod tests {
     fn negative_offset_supported() {
         let mut p = FixedOffsetPrefetcher::new(-2, PageSize::M4);
         assert_eq!(run(&mut p, 100, AccessOutcome::Miss), vec![LineAddr(98)]);
+    }
+
+    #[test]
+    fn external_gate_stops_issue() {
+        let mut p = FixedOffsetPrefetcher::next_line(PageSize::M4);
+        assert!(p.reconfigure(&TuneDirective::SetEnabled(false)));
+        assert!(run(&mut p, 10, AccessOutcome::Miss).is_empty());
+        assert_eq!(p.issued(), 0);
+        assert!(p.reconfigure(&TuneDirective::SetEnabled(true)));
+        assert_eq!(run(&mut p, 10, AccessOutcome::Miss), vec![LineAddr(11)]);
+        assert!(!p.reconfigure(&TuneDirective::SetDegree(2)), "unsupported");
     }
 
     #[test]

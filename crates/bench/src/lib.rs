@@ -8,7 +8,10 @@
 //! aligned text on stdout, JSON under `target/reports/`). The `perf`
 //! binary ([`measure_suite`]/[`throughput_report`]) measures simulator
 //! throughput itself — sim-cycles/sec, µops/sec, optimized vs naive —
-//! and writes `BENCH_throughput.json`.
+//! and writes `BENCH_throughput.json`; the `adaptive` binary compares
+//! static prefetcher configurations against the `bosim-adapt` runtime
+//! tuning policies on the phase-shifting workload, with per-epoch
+//! telemetry in its report JSON.
 //!
 //! ```no_run
 //! use bosim::{prefetchers, SimConfig};

@@ -7,6 +7,7 @@
 //! by default; set `BOSIM_REPORT_DIR` to redirect them.
 
 use bosim::SimResult;
+use bosim_adapt::AdaptTelemetry;
 use bosim_stats::{geometric_mean, Align, Json, Table};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -28,6 +29,8 @@ pub struct RunSummary {
     pub instructions: u64,
     /// Measured cycles.
     pub cycles: u64,
+    /// Adaptive-control epoch telemetry (adaptive runs only).
+    pub adapt: Option<AdaptTelemetry>,
 }
 
 impl From<&SimResult> for RunSummary {
@@ -45,6 +48,7 @@ impl From<&SimResult> for RunSummary {
             l2_miss_per_ki: r.uncore.l2_misses as f64 / ki,
             instructions: r.instructions,
             cycles: r.cycles,
+            adapt: r.adapt.clone(),
         }
     }
 }
@@ -59,6 +63,13 @@ impl RunSummary {
             ("l2_miss_per_ki", Json::from(self.l2_miss_per_ki)),
             ("instructions", Json::from(self.instructions)),
             ("cycles", Json::from(self.cycles)),
+            (
+                "adapt",
+                self.adapt
+                    .as_ref()
+                    .map(AdaptTelemetry::to_json)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 }

@@ -15,6 +15,10 @@ pub struct Evicted {
     pub line: LineAddr,
     /// Whether it was dirty (must be written back).
     pub dirty: bool,
+    /// Whether its prefetch bit was still set — the line was brought in
+    /// by a prefetch and evicted without ever serving a demand request
+    /// (an *unused* prefetch, counted by the usefulness telemetry).
+    pub prefetch: bool,
 }
 
 /// Result of a lookup.
@@ -191,6 +195,7 @@ impl CacheArray {
                     Some(Evicted {
                         line: victim_line,
                         dirty: m.dirty,
+                        prefetch: m.prefetch,
                     }),
                 )
             }
@@ -300,6 +305,23 @@ mod tests {
         let ev = c.insert(LineAddr(8), false, false, ctx()).unwrap();
         assert_eq!(ev.line, LineAddr(0), "LRU victim is the oldest");
         assert!(ev.dirty);
+        assert!(!ev.prefetch);
+    }
+
+    #[test]
+    fn eviction_reports_unused_prefetch_bit() {
+        let mut c = small_cache(); // 4 sets, 2 ways
+        c.insert(LineAddr(0), true, false, ctx());
+        c.insert(LineAddr(4), true, false, ctx());
+        // Line 4's prefetch is *used* (demand hit clears the bit); line 0
+        // is never touched. Overflowing the set evicts line 0 first.
+        c.access(LineAddr(4), false);
+        let ev = c.insert(LineAddr(8), false, false, ctx()).unwrap();
+        assert_eq!(ev.line, LineAddr(0));
+        assert!(ev.prefetch, "evicted without a demand hit: still marked");
+        let ev = c.insert(LineAddr(12), false, false, ctx()).unwrap();
+        assert_eq!(ev.line, LineAddr(4));
+        assert!(!ev.prefetch, "used prefetch evicts with the bit clear");
     }
 
     #[test]

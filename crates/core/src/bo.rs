@@ -21,10 +21,11 @@
 //! is turned off (§4.3) — but learning continues, with `Y` itself written
 //! to the RR table on every fill (i.e. `D = 0`).
 
-use crate::iface::{AccessOutcome, L2Access, L2Prefetcher};
+use crate::iface::{AccessOutcome, L2Access, L2Prefetcher, TuneDirective};
 use crate::offsets::OffsetList;
 use crate::rr_table::RrTable;
 use bosim_types::{LineAddr, PageSize};
+use std::fmt;
 
 /// Best-Offset prefetcher parameters (Table 2 defaults).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,97 @@ impl Default for BoConfig {
             degree: 1,
             offsets: OffsetList::paper_default(),
         }
+    }
+}
+
+/// A constraint violated by a [`BoConfig`] (returned by
+/// [`BoConfig::validate`] and [`BestOffsetPrefetcher::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BoConfigError {
+    /// The prefetch degree was outside the supported `1..=2` range.
+    UnsupportedDegree {
+        /// The requested degree.
+        degree: u32,
+    },
+    /// The candidate offset list was empty.
+    EmptyOffsetList,
+    /// The RR table entry count was not a power of two ≥ 2.
+    BadRrEntries {
+        /// The requested entry count.
+        entries: usize,
+    },
+    /// The RR partial tag width was 0 or larger than 16 bits.
+    BadRrTagBits {
+        /// The requested tag width.
+        bits: u32,
+    },
+    /// SCOREMAX was 0 — a learning phase could never saturate.
+    ZeroScoreMax,
+    /// ROUNDMAX was 0 — a learning phase could never end.
+    ZeroRoundMax,
+}
+
+impl fmt::Display for BoConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoConfigError::UnsupportedDegree { degree } => {
+                write!(
+                    f,
+                    "BO prefetch degree {degree} unsupported (must be 1 or 2)"
+                )
+            }
+            BoConfigError::EmptyOffsetList => write!(f, "BO candidate offset list is empty"),
+            BoConfigError::BadRrEntries { entries } => write!(
+                f,
+                "BO RR table needs a power-of-two entry count >= 2, got {entries}"
+            ),
+            BoConfigError::BadRrTagBits { bits } => {
+                write!(f, "BO RR partial tag must be 1..=16 bits, got {bits}")
+            }
+            BoConfigError::ZeroScoreMax => write!(f, "BO SCOREMAX must be at least 1"),
+            BoConfigError::ZeroRoundMax => write!(f, "BO ROUNDMAX must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BoConfigError {}
+
+impl BoConfig {
+    /// Validates the parameters against the constraints the hardware
+    /// model assumes. [`BestOffsetPrefetcher::try_new`] runs this; the
+    /// simulator's configuration builder surfaces the error instead of
+    /// aborting a sweep mid-grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), BoConfigError> {
+        if !(1..=2).contains(&self.degree) {
+            return Err(BoConfigError::UnsupportedDegree {
+                degree: self.degree,
+            });
+        }
+        if self.offsets.is_empty() {
+            return Err(BoConfigError::EmptyOffsetList);
+        }
+        if self.rr_entries < 2 || !self.rr_entries.is_power_of_two() {
+            return Err(BoConfigError::BadRrEntries {
+                entries: self.rr_entries,
+            });
+        }
+        if !(1..=16).contains(&self.rr_tag_bits) {
+            return Err(BoConfigError::BadRrTagBits {
+                bits: self.rr_tag_bits,
+            });
+        }
+        if self.score_max == 0 {
+            return Err(BoConfigError::ZeroScoreMax);
+        }
+        if self.round_max == 0 {
+            return Err(BoConfigError::ZeroRoundMax);
+        }
+        Ok(())
     }
 }
 
@@ -99,19 +191,41 @@ pub struct BestOffsetPrefetcher {
     offset: i64,
     /// Prefetch on/off (off when the last phase's best score ≤ BADSCORE).
     prefetch_on: bool,
+    /// External gate imposed by an adaptive tuning policy
+    /// ([`TuneDirective::SetEnabled`]); independent of the BADSCORE
+    /// throttle. While gated off, learning continues exactly as in the
+    /// throttled-off state (fills seed the RR table with `D = 0`).
+    enabled: bool,
     stats: BoStats,
 }
 
 impl BestOffsetPrefetcher {
     /// Creates a BO prefetcher with the given configuration and page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`BoConfig::validate`]. Sweeps
+    /// should validate specs up front (the simulator's configuration
+    /// builder does) and use [`try_new`](Self::try_new) to surface the
+    /// error instead.
     pub fn new(cfg: BoConfig, page: PageSize) -> Self {
+        match Self::try_new(cfg, page) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid BoConfig: {e}"),
+        }
+    }
+
+    /// Fallible construction: validates the configuration and reports the
+    /// violated constraint instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violated by `cfg`.
+    pub fn try_new(cfg: BoConfig, page: PageSize) -> Result<Self, BoConfigError> {
+        cfg.validate()?;
         let n = cfg.offsets.len();
         let rr = RrTable::new(cfg.rr_entries, cfg.rr_tag_bits);
-        assert!(
-            (1..=2).contains(&cfg.degree),
-            "supported prefetch degrees are 1 and 2"
-        );
-        BestOffsetPrefetcher {
+        Ok(BestOffsetPrefetcher {
             offset: cfg.offsets.get(0),
             second_offset: cfg.offsets.get(0),
             cfg,
@@ -126,8 +240,9 @@ impl BestOffsetPrefetcher {
             second_score: 0,
             saturated: false,
             prefetch_on: true,
+            enabled: true,
             stats: BoStats::default(),
-        }
+        })
     }
 
     /// Creates a BO prefetcher with the Table 2 default parameters.
@@ -147,9 +262,21 @@ impl BestOffsetPrefetcher {
         self.second_offset
     }
 
-    /// Whether prefetch is currently on (§4.3 throttling).
+    /// Whether prefetch is currently on: the §4.3 BADSCORE throttle AND
+    /// the external [`TuneDirective::SetEnabled`] gate.
     pub fn is_prefetching(&self) -> bool {
-        self.prefetch_on
+        self.prefetch_on && self.enabled
+    }
+
+    /// Whether the external tuning gate currently allows prefetching
+    /// (independent of the BADSCORE throttle).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The configured prefetch degree (runtime-tunable, 1 or 2).
+    pub fn degree(&self) -> u32 {
+        self.cfg.degree
     }
 
     /// Current learning-phase scores, in offset-list order.
@@ -242,7 +369,7 @@ impl L2Prefetcher for BestOffsetPrefetcher {
         let x = access.line;
         // Issue the prefetch for X + D first (the learning step below may
         // swap phases; hardware does both in the same cycle).
-        if self.prefetch_on {
+        if self.is_prefetching() {
             if let Some(target) = x.checked_offset(self.offset, self.page) {
                 out.push(target);
                 self.stats.issued += 1;
@@ -262,7 +389,7 @@ impl L2Prefetcher for BestOffsetPrefetcher {
     }
 
     fn on_fill(&mut self, line: LineAddr, prefetched: bool) {
-        if self.prefetch_on {
+        if self.is_prefetching() {
             // Base address of the completed prefetch: Y - D, written only
             // for lines still marked prefetched, and only when Y and Y-D
             // lie in the same page (§4.1 fn. 2).
@@ -283,6 +410,21 @@ impl L2Prefetcher for BestOffsetPrefetcher {
 
     fn page_size(&self) -> PageSize {
         self.page
+    }
+
+    fn reconfigure(&mut self, directive: &TuneDirective) -> bool {
+        match directive {
+            TuneDirective::SetDegree(d) if (1..=2).contains(d) => {
+                self.cfg.degree = *d;
+                true
+            }
+            TuneDirective::SetDegree(_) => false,
+            TuneDirective::SetEnabled(on) => {
+                self.enabled = *on;
+                true
+            }
+            TuneDirective::SwitchPrefetcher(_) => false,
+        }
     }
 }
 
@@ -601,6 +743,91 @@ mod tests {
             ..Default::default()
         };
         let _ = BestOffsetPrefetcher::new(cfg, PageSize::M4);
+    }
+
+    #[test]
+    fn try_new_reports_violations_instead_of_panicking() {
+        let bad_degree = BoConfig {
+            degree: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            BestOffsetPrefetcher::try_new(bad_degree, PageSize::M4).unwrap_err(),
+            BoConfigError::UnsupportedDegree { degree: 3 }
+        );
+        let bad_rr = BoConfig {
+            rr_entries: 100,
+            ..Default::default()
+        };
+        assert_eq!(
+            BestOffsetPrefetcher::try_new(bad_rr, PageSize::M4).unwrap_err(),
+            BoConfigError::BadRrEntries { entries: 100 }
+        );
+        let zero_rounds = BoConfig {
+            round_max: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            BoConfig::validate(&zero_rounds).unwrap_err(),
+            BoConfigError::ZeroRoundMax
+        );
+        assert!(BoConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_offset_list_is_a_config_error() {
+        // `OffsetList::new` panics on an empty list; `try_new` surfaces
+        // the same constraint as an error for sweep validation.
+        assert_eq!(
+            OffsetList::try_new(vec![]).unwrap_err(),
+            "offset list cannot be empty"
+        );
+        assert_eq!(
+            OffsetList::try_new(vec![1, 0]).unwrap_err(),
+            "offset 0 is not a prefetch"
+        );
+        assert_eq!(
+            OffsetList::try_new(vec![2, 2]).unwrap_err(),
+            "duplicate offsets"
+        );
+    }
+
+    #[test]
+    fn reconfigure_switches_degree_at_runtime() {
+        let mut p = bo();
+        assert_eq!(p.degree(), 1);
+        assert!(p.reconfigure(&TuneDirective::SetDegree(2)));
+        assert_eq!(p.degree(), 2);
+        assert!(!p.reconfigure(&TuneDirective::SetDegree(3)), "3 rejected");
+        assert_eq!(p.degree(), 2);
+        assert!(p.reconfigure(&TuneDirective::SetDegree(1)));
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn external_gate_stops_issue_but_learning_continues() {
+        let mut p = bo();
+        assert!(p.reconfigure(&TuneDirective::SetEnabled(false)));
+        assert!(!p.is_prefetching());
+        assert!(!p.is_enabled());
+        // No prefetches while gated off...
+        assert!(access(&mut p, 100).is_empty());
+        // ...but fills seed the RR table with D = 0 (off-state learning):
+        // a later access to Z+1 scores offset 1.
+        p.on_fill(LineAddr(5_000), false);
+        // The gated prefetcher still observes accesses (learning): drive
+        // the test index back to offset 1 at the start of a round.
+        let scores_before = p.scores()[0];
+        while p.scores()[0] == scores_before {
+            // Keep probing Z+1; each full round tests offset 1 once.
+            access(&mut p, 5_001);
+            if p.stats().phases > 2 {
+                panic!("offset 1 never scored while gated off");
+            }
+        }
+        // Re-enabling resumes issue immediately (BADSCORE state allowing).
+        assert!(p.reconfigure(&TuneDirective::SetEnabled(true)));
+        assert!(p.is_enabled());
     }
 
     #[test]

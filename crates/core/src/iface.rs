@@ -6,6 +6,41 @@
 //! hits. Prefetch addresses never cross page boundaries.
 
 use bosim_types::{LineAddr, PageSize};
+use std::fmt;
+
+/// A runtime reconfiguration request for an L2 prefetcher.
+///
+/// Directives are produced by adaptive tuning policies (the
+/// `bosim-adapt` crate) at epoch boundaries and applied through
+/// [`L2Prefetcher::reconfigure`]. A prefetcher honours the directives it
+/// understands and rejects the rest — the caller records which ones were
+/// applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneDirective {
+    /// Change the prefetch degree (BO supports 1 and 2).
+    SetDegree(u32),
+    /// Externally gate prefetch issue on or off. Unlike the BO BADSCORE
+    /// throttle this is imposed from outside (e.g. under bandwidth
+    /// contention); learning machinery keeps running while gated.
+    SetEnabled(bool),
+    /// Replace the prefetcher with the named registry entry. This is
+    /// handled by the *simulator* (which owns prefetcher construction),
+    /// never by the prefetcher itself — [`L2Prefetcher::reconfigure`]
+    /// implementations always reject it.
+    SwitchPrefetcher(String),
+}
+
+impl fmt::Display for TuneDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneDirective::SetDegree(d) => write!(f, "degree={d}"),
+            TuneDirective::SetEnabled(on) => {
+                write!(f, "prefetch={}", if *on { "on" } else { "off" })
+            }
+            TuneDirective::SwitchPrefetcher(name) => write!(f, "switch={name}"),
+        }
+    }
+}
 
 /// Outcome of an L2 read access, as seen by the prefetcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +92,14 @@ pub trait L2Prefetcher: std::fmt::Debug {
 
     /// The page size this prefetcher was configured for.
     fn page_size(&self) -> PageSize;
+
+    /// Applies a runtime reconfiguration directive. Returns `true` when
+    /// the directive was understood and applied, `false` when this
+    /// prefetcher does not support it (the default).
+    fn reconfigure(&mut self, directive: &TuneDirective) -> bool {
+        let _ = directive;
+        false
+    }
 }
 
 /// The "no L2 prefetch" configuration (Figure 5 baseline).
@@ -110,5 +153,23 @@ mod tests {
         );
         assert!(out.is_empty());
         assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn reconfigure_defaults_to_unsupported() {
+        let mut p = NullPrefetcher::new(PageSize::K4);
+        assert!(!p.reconfigure(&TuneDirective::SetDegree(2)));
+        assert!(!p.reconfigure(&TuneDirective::SetEnabled(false)));
+        assert!(!p.reconfigure(&TuneDirective::SwitchPrefetcher("bo".into())));
+    }
+
+    #[test]
+    fn directives_render_for_telemetry() {
+        assert_eq!(TuneDirective::SetDegree(2).to_string(), "degree=2");
+        assert_eq!(TuneDirective::SetEnabled(false).to_string(), "prefetch=off");
+        assert_eq!(
+            TuneDirective::SwitchPrefetcher("none".into()).to_string(),
+            "switch=none"
+        );
     }
 }

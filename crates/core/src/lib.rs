@@ -44,7 +44,7 @@ mod iface;
 mod offsets;
 mod rr_table;
 
-pub use bo::{BestOffsetPrefetcher, BoConfig, BoStats};
-pub use iface::{AccessOutcome, L2Access, L2Prefetcher, NullPrefetcher};
+pub use bo::{BestOffsetPrefetcher, BoConfig, BoConfigError, BoStats};
+pub use iface::{AccessOutcome, L2Access, L2Prefetcher, NullPrefetcher, TuneDirective};
 pub use offsets::OffsetList;
 pub use rr_table::RrTable;

@@ -23,13 +23,34 @@ impl OffsetList {
     ///
     /// Panics if the list is empty, contains zero, or contains duplicates.
     pub fn new(offsets: Vec<i64>) -> Self {
-        assert!(!offsets.is_empty(), "offset list cannot be empty");
-        assert!(!offsets.contains(&0), "offset 0 is not a prefetch");
+        match Self::try_new(offsets) {
+            Ok(list) => list,
+            Err(reason) => panic!("{reason}"),
+        }
+    }
+
+    /// Fallible construction: returns a description of the violated
+    /// constraint instead of panicking (used by configuration validation
+    /// in parameter sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the list is empty, contains zero, or
+    /// contains duplicates.
+    pub fn try_new(offsets: Vec<i64>) -> Result<Self, &'static str> {
+        if offsets.is_empty() {
+            return Err("offset list cannot be empty");
+        }
+        if offsets.contains(&0) {
+            return Err("offset 0 is not a prefetch");
+        }
         let mut dedup = offsets.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), offsets.len(), "duplicate offsets");
-        OffsetList { offsets }
+        if dedup.len() != offsets.len() {
+            return Err("duplicate offsets");
+        }
+        Ok(OffsetList { offsets })
     }
 
     /// The paper's default list: every integer in `1..=max` whose prime

@@ -18,6 +18,7 @@
 //! ```
 
 use crate::spec::{prefetchers, PrefetcherHandle};
+use bosim_adapt::AdaptConfig;
 use bosim_cache::policy::PolicyKind;
 use bosim_cpu::CoreConfig;
 use bosim_types::PageSize;
@@ -87,6 +88,13 @@ pub struct SimConfig {
     /// optimization behaviour. Cycle-exact identical results, much
     /// slower; exists purely as the throughput harness's baseline.
     pub naive_hot_path: bool,
+    /// Adaptive prefetch control: when set, the system slices the run
+    /// into epochs, distils the uncore's usefulness counters into
+    /// [`bosim_adapt::EpochFeedback`], and lets the configured
+    /// [`bosim_adapt::TunePolicy`] reconfigure each core's L2 prefetcher
+    /// at every boundary. `None` (the default) reproduces the paper's
+    /// static configurations.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl Default for SimConfig {
@@ -112,6 +120,7 @@ impl Default for SimConfig {
             seed: 0xB05EED,
             fast_forward: true,
             naive_hot_path: false,
+            adapt: None,
         }
     }
 }
@@ -138,13 +147,19 @@ impl SimConfig {
         self
     }
 
-    /// Short configuration label, e.g. `"4KB/2-core/BO"`.
+    /// Short configuration label, e.g. `"4KB/2-core/BO"`; adaptive
+    /// configurations append the policy (`"4KB/2-core/BO+bw-throttle"`).
     pub fn label(&self) -> String {
+        let policy = match &self.adapt {
+            Some(a) => format!("+{}", a.policy.name()),
+            None => String::new(),
+        };
         format!(
-            "{}/{}-core/{}",
+            "{}/{}-core/{}{}",
             self.page.label(),
             self.active_cores,
-            self.l2_prefetcher.name()
+            self.l2_prefetcher.name(),
+            policy,
         )
     }
 
@@ -189,13 +204,38 @@ impl SimConfig {
         if self.measure_instructions == 0 {
             return Err(ConfigError::ZeroInstructions);
         }
+        // Prefetcher-spec validation: invalid algorithm parameters (a BO
+        // degree of 3, an empty offset list) are reported here instead
+        // of aborting mid-sweep when the prefetcher is built.
+        if let Err(reason) = self.l2_prefetcher.spec().validate(self) {
+            return Err(ConfigError::InvalidPrefetcher {
+                name: self.l2_prefetcher.name(),
+                reason,
+            });
+        }
+        if let Some(adapt) = &self.adapt {
+            if let Err(reason) = adapt.validate() {
+                return Err(ConfigError::InvalidAdapt { reason });
+            }
+            // Every prefetcher the policy may switch to must resolve in
+            // the registry *now* — a sweep must not die at the first
+            // epoch boundary of some arm.
+            for name in adapt.policy.spec().prefetcher_names() {
+                if let Err(e) = crate::registry::registry().resolve(&name) {
+                    return Err(ConfigError::UnknownPrefetcher {
+                        name,
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
         Ok(())
     }
 }
 
 /// A constraint violated by a [`SimConfig`] (returned by
 /// [`SimConfigBuilder::build`] and [`SimConfig::validate`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ConfigError {
     /// `active_cores` was 0 — core 0 must run the benchmark.
@@ -224,6 +264,27 @@ pub enum ConfigError {
     },
     /// The measured window was zero instructions long.
     ZeroInstructions,
+    /// The L2 prefetcher spec rejected its parameters (e.g. a BO degree
+    /// outside 1..=2 or an empty offset list).
+    InvalidPrefetcher {
+        /// The prefetcher's label.
+        name: String,
+        /// The violated constraint, as reported by the spec.
+        reason: String,
+    },
+    /// The adaptive-control configuration was invalid.
+    InvalidAdapt {
+        /// The violated constraint.
+        reason: String,
+    },
+    /// An adaptive policy references a prefetcher name the registry
+    /// cannot resolve.
+    UnknownPrefetcher {
+        /// The unresolvable name.
+        name: String,
+        /// The registry's resolution error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -244,6 +305,18 @@ impl fmt::Display for ConfigError {
             ConfigError::EmptyQueue { queue } => write!(f, "{queue} needs at least one entry"),
             ConfigError::ZeroInstructions => {
                 write!(f, "measure_instructions must be at least 1")
+            }
+            ConfigError::InvalidPrefetcher { name, reason } => {
+                write!(f, "prefetcher {name:?} rejected its parameters: {reason}")
+            }
+            ConfigError::InvalidAdapt { reason } => {
+                write!(f, "adaptive-control configuration invalid: {reason}")
+            }
+            ConfigError::UnknownPrefetcher { name, reason } => {
+                write!(
+                    f,
+                    "adaptive policy references unresolvable prefetcher {name:?}: {reason}"
+                )
             }
         }
     }
@@ -370,6 +443,13 @@ impl SimConfigBuilder {
     /// throughput harness's baseline (see [`SimConfig::naive_hot_path`]).
     pub fn naive_hot_path(mut self, enabled: bool) -> Self {
         self.cfg.naive_hot_path = enabled;
+        self
+    }
+
+    /// Enables adaptive prefetch control with the given epoch/policy
+    /// configuration (see [`SimConfig::adapt`]).
+    pub fn adapt(mut self, adapt: AdaptConfig) -> Self {
+        self.cfg.adapt = Some(adapt);
         self
     }
 
@@ -506,6 +586,93 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_bo_parameters() {
+        // The old behaviour was a panic inside BestOffsetPrefetcher::new
+        // on the first worker thread of a sweep; now the builder reports
+        // the violated constraint up front.
+        let bad = best_offset::BoConfig {
+            degree: 3,
+            ..Default::default()
+        };
+        let err = SimConfig::builder()
+            .prefetcher(prefetchers::bo(bad))
+            .build()
+            .unwrap_err();
+        match &err {
+            ConfigError::InvalidPrefetcher { name, reason } => {
+                assert_eq!(name, "BO");
+                assert!(reason.contains("degree 3"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("rejected its parameters"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_fixed_offset() {
+        let err = SimConfig::builder()
+            .prefetcher(crate::spec::FixedOffsetSpec { offset: 0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ConfigError::InvalidPrefetcher { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_validates_adaptive_configs() {
+        use bosim_adapt::{policies, AdaptConfig};
+        // A healthy adaptive config builds.
+        let cfg = SimConfig::builder()
+            .prefetcher(prefetchers::bo_default())
+            .adapt(AdaptConfig::new(policies::degree_governor()))
+            .build()
+            .expect("valid adaptive config");
+        assert_eq!(cfg.label(), "4KB/1-core/BO+degree-governor");
+        // Zero-length epochs are rejected.
+        let err = SimConfig::builder()
+            .adapt(AdaptConfig::new(policies::degree_governor()).epoch_cycles(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidAdapt { .. }), "{err:?}");
+        // Tournament candidates must resolve in the registry, with the
+        // resolver's diagnosis passed through.
+        let err = SimConfig::builder()
+            .adapt(AdaptConfig::new(policies::tournament(["bo", "offset-0"])))
+            .build()
+            .unwrap_err();
+        match &err {
+            ConfigError::UnknownPrefetcher { name, reason } => {
+                assert_eq!(name, "offset-0");
+                assert!(reason.contains("offset 0 is not a prefetch"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_prefetcher_names_require_an_adapt_config() {
+        use bosim_adapt::{policies, AdaptConfig};
+        let handle = crate::registry::registry()
+            .lookup("adaptive-bo")
+            .expect("family registered");
+        let err = SimConfig::builder()
+            .prefetcher(handle.clone())
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("requires adaptive control"),
+            "{err}"
+        );
+        assert!(SimConfig::builder()
+            .prefetcher(handle)
+            .adapt(AdaptConfig::new(policies::bandwidth_throttle()))
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -46,11 +46,18 @@ mod uncore;
 pub use config::{
     default_instructions, default_warmup, ConfigError, SimConfig, SimConfigBuilder, MAX_CORES,
 };
-pub use registry::{registry, PrefetcherRegistry, PrefetcherResolver};
+pub use registry::{
+    registry, PrefetcherRegistry, PrefetcherResolver, ResolveError, ResolverOutcome,
+};
 pub use runner::{default_threads, run_job, run_jobs, speedups, Job, RunnerError};
 pub use spec::{
-    prefetchers, AmpmSpec, BoSpec, FixedOffsetSpec, NextLineSpec, NoPrefetchSpec, PrefetcherHandle,
-    PrefetcherSpec, SbpSpec,
+    prefetchers, AdaptiveSpec, AmpmSpec, BoSpec, FixedOffsetSpec, NextLineSpec, NoPrefetchSpec,
+    PrefetcherHandle, PrefetcherSpec, SbpSpec,
 };
 pub use system::{SimResult, System};
-pub use uncore::{Uncore, UncoreStats};
+pub use uncore::{PrefetchTelemetry, Uncore, UncoreStats};
+
+/// The adaptive-control crate, re-exported for policy construction
+/// (`bosim::adapt::policies::tournament([..])`).
+pub use bosim_adapt as adapt;
+pub use bosim_adapt::AdaptConfig;

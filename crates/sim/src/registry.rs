@@ -25,13 +25,70 @@
 //!
 //! Parameterised families (like the fixed-offset prefetchers) register a
 //! *resolver* instead of a single name: a function that parses names such
-//! as `"offset-12"` into a handle.
+//! as `"offset-12"` into a handle. A resolver distinguishes "not my
+//! family" from "my family, but malformed" ([`ResolverOutcome`]), so
+//! [`PrefetcherRegistry::resolve`] can report *why* `"offset-0"` or
+//! `"offset-banana"` is rejected instead of a bare miss.
 
-use crate::spec::{prefetchers, PrefetcherHandle};
+use crate::spec::{prefetchers, AdaptiveSpec, PrefetcherHandle};
+use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// A name-pattern resolver: returns a handle when it recognises `name`.
-pub type PrefetcherResolver = Arc<dyn Fn(&str) -> Option<PrefetcherHandle> + Send + Sync>;
+/// A resolver's verdict on one name (see [`PrefetcherResolver`]).
+#[derive(Debug)]
+pub enum ResolverOutcome {
+    /// The name does not belong to this resolver's family.
+    NotMine,
+    /// The name resolved to a prefetcher.
+    Resolved(PrefetcherHandle),
+    /// The name matches this family but is malformed; the string says
+    /// how (`"offset must be a non-zero integer"`, ...).
+    Malformed(String),
+}
+
+/// A name-pattern resolver: classifies `name` as outside its family,
+/// resolved, or malformed.
+pub type PrefetcherResolver = Arc<dyn Fn(&str) -> ResolverOutcome + Send + Sync>;
+
+/// Why a name failed to resolve (returned by
+/// [`PrefetcherRegistry::resolve`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No exact name matched and no resolver family claimed the name.
+    Unknown {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A resolver family claimed the name but rejected its parameters.
+    Malformed {
+        /// The rejected name.
+        name: String,
+        /// The claiming family's pattern (e.g. `"offset-<D>"`).
+        family: String,
+        /// What is wrong with the parameters.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Unknown { name } => {
+                write!(
+                    f,
+                    "unknown prefetcher {name:?} (try `names()` for the list)"
+                )
+            }
+            ResolveError::Malformed {
+                name,
+                family,
+                reason,
+            } => write!(f, "malformed prefetcher spec {name:?} ({family}): {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
 
 #[derive(Default)]
 struct Entries {
@@ -63,8 +120,16 @@ impl PrefetcherRegistry {
         reg.register_resolver(
             "offset-<D>",
             Arc::new(|name| {
-                let d: i64 = name.strip_prefix("offset-")?.parse().ok()?;
-                (d != 0).then(|| prefetchers::fixed(d))
+                let Some(spec) = name.strip_prefix("offset-") else {
+                    return ResolverOutcome::NotMine;
+                };
+                match spec.parse::<i64>() {
+                    Ok(0) => ResolverOutcome::Malformed("offset 0 is not a prefetch".into()),
+                    Ok(d) => ResolverOutcome::Resolved(prefetchers::fixed(d)),
+                    Err(_) => ResolverOutcome::Malformed(format!(
+                        "offset must be a non-zero integer in the i64 range, got {spec:?}"
+                    )),
+                }
             }),
         );
         reg
@@ -87,22 +152,50 @@ impl PrefetcherRegistry {
     }
 
     /// Finds a handle by name: exact (case-insensitive) matches first,
-    /// then resolvers in reverse registration order.
+    /// then resolvers in reverse registration order. `None` for both
+    /// unknown and malformed names — use [`resolve`](Self::resolve) when
+    /// the caller needs to report *why*.
+    pub fn lookup(&self, name: &str) -> Option<PrefetcherHandle> {
+        self.resolve(name).ok()
+    }
+
+    /// Like [`lookup`](Self::lookup), but distinguishes a name no family
+    /// claims ([`ResolveError::Unknown`]) from one a family claims and
+    /// rejects — `offset-0`, `offset-banana`, an offset overflowing
+    /// `i64` — which yields a [`ResolveError::Malformed`] naming the
+    /// family and the violated constraint.
     ///
     /// Resolvers are invoked *outside* the registry lock, so a resolver
     /// may itself call back into the registry (e.g. an alias family that
     /// delegates to other names), and a panicking resolver cannot poison
     /// the registry.
-    pub fn lookup(&self, name: &str) -> Option<PrefetcherHandle> {
+    ///
+    /// # Errors
+    ///
+    /// Returns why the name failed to resolve.
+    pub fn resolve(&self, name: &str) -> Result<PrefetcherHandle, ResolveError> {
         let key = name.trim().to_ascii_lowercase();
-        let resolvers: Vec<PrefetcherResolver> = {
+        let resolvers: Vec<(String, PrefetcherResolver)> = {
             let e = self.entries.lock().expect("registry poisoned");
             if let Some((_, h)) = e.named.iter().rev().find(|(n, _)| *n == key) {
-                return Some(h.clone());
+                return Ok(h.clone());
             }
-            e.resolvers.iter().rev().map(|(_, r)| r.clone()).collect()
+            e.resolvers.iter().rev().cloned().collect()
         };
-        resolvers.iter().find_map(|r| r(&key))
+        for (family, r) in &resolvers {
+            match r(&key) {
+                ResolverOutcome::NotMine => continue,
+                ResolverOutcome::Resolved(h) => return Ok(h),
+                ResolverOutcome::Malformed(reason) => {
+                    return Err(ResolveError::Malformed {
+                        name: key,
+                        family: family.clone(),
+                        reason,
+                    })
+                }
+            }
+        }
+        Err(ResolveError::Unknown { name: key })
     }
 
     /// All registered names and resolver patterns, registration order.
@@ -118,9 +211,35 @@ impl PrefetcherRegistry {
 
 /// The process-wide registry, created on first use with the six built-in
 /// prefetchers pre-registered.
+///
+/// The global instance additionally carries the `adaptive-<name>`
+/// family: `adaptive-bo` resolves to BO wrapped in
+/// [`AdaptiveSpec`](crate::AdaptiveSpec), whose validation requires an
+/// adaptive-control configuration on the run. The family delegates the
+/// base name back into this registry, so third-party registrations get
+/// adaptive aliases for free.
 pub fn registry() -> &'static PrefetcherRegistry {
     static REGISTRY: OnceLock<PrefetcherRegistry> = OnceLock::new();
-    REGISTRY.get_or_init(PrefetcherRegistry::with_builtins)
+    REGISTRY.get_or_init(|| {
+        let reg = PrefetcherRegistry::with_builtins();
+        reg.register_resolver(
+            "adaptive-<name>",
+            Arc::new(|name| {
+                let Some(base) = name.strip_prefix("adaptive-") else {
+                    return ResolverOutcome::NotMine;
+                };
+                // Re-entrant: resolvers run outside the lock, and the
+                // OnceLock is initialised by the time any lookup runs.
+                match registry().resolve(base) {
+                    Ok(inner) => {
+                        ResolverOutcome::Resolved(PrefetcherHandle::new(AdaptiveSpec { inner }))
+                    }
+                    Err(e) => ResolverOutcome::Malformed(format!("base name: {e}")),
+                }
+            }),
+        );
+        reg
+    })
 }
 
 #[cfg(test)]
@@ -174,10 +293,54 @@ mod tests {
         let inner = reg.clone();
         reg.register_resolver(
             "alias-<name>",
-            Arc::new(move |name| inner.lookup(name.strip_prefix("alias-")?)),
+            Arc::new(move |name| match name.strip_prefix("alias-") {
+                None => ResolverOutcome::NotMine,
+                Some(base) => match inner.lookup(base) {
+                    Some(h) => ResolverOutcome::Resolved(h),
+                    None => ResolverOutcome::Malformed(format!("unknown base {base:?}")),
+                },
+            }),
         );
         assert_eq!(reg.lookup("alias-bo").expect("delegates").name(), "BO");
         assert!(reg.lookup("alias-nope").is_none());
+    }
+
+    #[test]
+    fn malformed_offset_specs_are_described() {
+        let reg = PrefetcherRegistry::with_builtins();
+        for (name, needle) in [
+            ("offset-0", "offset 0 is not a prefetch"),
+            ("offset-x", "non-zero integer"),
+            ("offset-12banana", "non-zero integer"),
+            // i64 overflow: parse fails, reported as malformed rather
+            // than silently missing.
+            ("offset-99999999999999999999", "i64 range"),
+        ] {
+            let err = reg.resolve(name).unwrap_err();
+            match &err {
+                ResolveError::Malformed { family, reason, .. } => {
+                    assert_eq!(family, "offset-<D>");
+                    assert!(reason.contains(needle), "{name}: {reason}");
+                }
+                other => panic!("{name}: expected Malformed, got {other:?}"),
+            }
+            assert!(err.to_string().contains("offset-<D>"));
+        }
+        // Unknown names stay Unknown — no family claims them.
+        assert_eq!(
+            reg.resolve("no-such-prefetcher").unwrap_err(),
+            ResolveError::Unknown {
+                name: "no-such-prefetcher".into()
+            }
+        );
+    }
+
+    #[test]
+    fn adaptive_family_wraps_base_names() {
+        let h = registry().lookup("adaptive-bo").expect("family resolves");
+        assert_eq!(h.name(), "adaptive-BO");
+        let err = registry().resolve("adaptive-nope").unwrap_err();
+        assert!(err.to_string().contains("base name"), "{err}");
     }
 
     #[test]

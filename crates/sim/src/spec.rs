@@ -35,6 +35,20 @@ pub trait PrefetcherSpec: fmt::Debug + Send + Sync {
     /// Builds the prefetcher state machine for one core of `cfg`'s
     /// machine.
     fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher>;
+
+    /// Validates the spec's parameters against `cfg` *before* any
+    /// simulation runs. [`SimConfig::validate`] calls this, so an
+    /// invalid spec (a BO degree of 3, an empty offset list) is reported
+    /// as a [`crate::ConfigError`] instead of panicking mid-sweep when
+    /// [`build`](Self::build) runs on a worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    fn validate(&self, cfg: &SimConfig) -> Result<(), String> {
+        let _ = cfg;
+        Ok(())
+    }
 }
 
 /// A shared, cloneable handle to a [`PrefetcherSpec`].
@@ -126,6 +140,13 @@ impl PrefetcherSpec for FixedOffsetSpec {
     fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
         Box::new(FixedOffsetPrefetcher::new(self.offset, cfg.page))
     }
+
+    fn validate(&self, _cfg: &SimConfig) -> Result<(), String> {
+        if self.offset == 0 {
+            return Err("offset 0 is not a prefetch".into());
+        }
+        Ok(())
+    }
 }
 
 /// The Best-Offset prefetcher (§4).
@@ -142,6 +163,10 @@ impl PrefetcherSpec for BoSpec {
 
     fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
         Box::new(BestOffsetPrefetcher::new(self.config.clone(), cfg.page))
+    }
+
+    fn validate(&self, _cfg: &SimConfig) -> Result<(), String> {
+        self.config.validate().map_err(|e| e.to_string())
     }
 }
 
@@ -176,6 +201,41 @@ impl PrefetcherSpec for AmpmSpec {
 
     fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
         Box::new(AmpmPrefetcher::new(self.config.clone(), cfg.page))
+    }
+}
+
+/// An adaptive alias around another spec: the registry's
+/// `adaptive-<name>` family resolves to this wrapper.
+///
+/// The wrapper builds exactly the inner prefetcher — adaptivity lives in
+/// the *system*, configured through [`SimConfig::adapt`] — but its
+/// validation insists that an adaptive-control configuration is present,
+/// so a run named `adaptive-bo` without a policy fails fast instead of
+/// silently running static BO.
+#[derive(Debug)]
+pub struct AdaptiveSpec {
+    /// The wrapped (initial) prefetcher.
+    pub inner: PrefetcherHandle,
+}
+
+impl PrefetcherSpec for AdaptiveSpec {
+    fn name(&self) -> String {
+        format!("adaptive-{}", self.inner.name())
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+        self.inner.build(cfg)
+    }
+
+    fn validate(&self, cfg: &SimConfig) -> Result<(), String> {
+        self.inner.spec().validate(cfg)?;
+        if cfg.adapt.is_none() {
+            return Err(format!(
+                "{} requires adaptive control: set SimConfig::builder().adapt(AdaptConfig::new(..))",
+                self.name()
+            ));
+        }
+        Ok(())
     }
 }
 

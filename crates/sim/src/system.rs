@@ -1,7 +1,8 @@
 //! Full-system assembly: cores + uncore, and the measurement loop.
 
 use crate::config::SimConfig;
-use crate::uncore::{Uncore, UncoreStats};
+use crate::uncore::{PrefetchTelemetry, Uncore, UncoreStats};
+use bosim_adapt::{AdaptTelemetry, DirectiveRecord, EpochFeedback, EpochRecord, TunePolicy};
 use bosim_cpu::{Core, CoreStats, UncoreRequest};
 use bosim_dram::DramStats;
 use bosim_trace::{suite, BenchmarkSpec};
@@ -29,6 +30,10 @@ pub struct SimResult {
     pub uncore: UncoreStats,
     /// DRAM statistics over the measured window (all cores).
     pub dram: DramStats,
+    /// Adaptive-control telemetry: core 0's full epoch history (from
+    /// simulation start, warm-up included) when the run was adaptive,
+    /// `None` for static configurations.
+    pub adapt: Option<AdaptTelemetry>,
 }
 
 impl SimResult {
@@ -51,6 +56,23 @@ impl SimResult {
     }
 }
 
+/// The live adaptive-control engine of a running system: per-core
+/// policies plus the previous epoch's counter snapshots.
+#[derive(Debug)]
+struct AdaptRuntime {
+    epoch_cycles: u64,
+    /// End of the epoch currently accumulating.
+    next_boundary: Cycle,
+    epoch: u64,
+    /// One policy instance per core (policies are per-core state
+    /// machines; bandwidth feedback is shared, decisions are not).
+    policies: Vec<Box<dyn TunePolicy>>,
+    prev_telemetry: Vec<PrefetchTelemetry>,
+    prev_retired: Vec<u64>,
+    prev_dram: DramStats,
+    telemetry: AdaptTelemetry,
+}
+
 /// A complete simulated machine: up to four cores, private L2s, shared L3
 /// and dual-channel DRAM.
 #[derive(Debug)]
@@ -64,6 +86,7 @@ pub struct System {
     benchmark: String,
     req_buf: Vec<UncoreRequest>,
     fill_buf: Vec<(CoreId, LineAddr)>,
+    adapt: Option<AdaptRuntime>,
 }
 
 impl System {
@@ -97,6 +120,20 @@ impl System {
                 cfg.seed ^ (i as u64) << 8,
             ));
         }
+        let adapt = cfg.adapt.as_ref().map(|a| AdaptRuntime {
+            epoch_cycles: a.epoch_cycles,
+            next_boundary: a.epoch_cycles,
+            epoch: 0,
+            policies: (0..cfg.active_cores).map(|_| a.policy.build()).collect(),
+            prev_telemetry: vec![PrefetchTelemetry::default(); cfg.active_cores],
+            prev_retired: vec![0; cfg.active_cores],
+            prev_dram: DramStats::default(),
+            telemetry: AdaptTelemetry {
+                policy: a.policy.name(),
+                epoch_cycles: a.epoch_cycles,
+                ..Default::default()
+            },
+        });
         System {
             uncore: Uncore::new(cfg),
             cores,
@@ -105,6 +142,7 @@ impl System {
             benchmark: bench.name.clone(),
             req_buf: Vec::with_capacity(64),
             fill_buf: Vec::with_capacity(64),
+            adapt,
             cfg: cfg.clone(),
         }
     }
@@ -206,6 +244,93 @@ impl System {
         t.min(self.uncore.next_event_cycle(from))
     }
 
+    /// Adaptive-control telemetry so far (`None` for static runs).
+    pub fn adapt_telemetry(&self) -> Option<&AdaptTelemetry> {
+        self.adapt.as_ref().map(|a| &a.telemetry)
+    }
+
+    /// Processes every epoch boundary at or before the current cycle:
+    /// snapshot counters, hand each core's [`EpochFeedback`] to its
+    /// policy, apply the directives, log core 0's record.
+    ///
+    /// Called at the top of the run loop, *before* the tick of the cycle
+    /// it fires on. This keeps the naive and fast-forwarding loops
+    /// bit-identical: a skip only jumps provably idle cycles, so when a
+    /// jump lands past a boundary the counters are exactly what they
+    /// were at the boundary and no prefetcher invocation can have
+    /// happened in between — the policy sees the same feedback and
+    /// reconfigures the same prefetcher state either way.
+    fn adapt_epochs(&mut self) {
+        let Some(ad) = self.adapt.as_mut() else {
+            return;
+        };
+        while self.cycle >= ad.next_boundary {
+            let start_cycle = ad.next_boundary - ad.epoch_cycles;
+            let dram = self.uncore.dram_stats();
+            let reads = dram.reads - ad.prev_dram.reads;
+            let writes = dram.writes - ad.prev_dram.writes;
+            // Data-bus occupancy: every CAS moves one line and holds the
+            // channel's data bus for tBURST core cycles.
+            let busy = (reads + writes) * self.uncore.dram_line_transfer_cycles();
+            let capacity = ad.epoch_cycles * self.uncore.dram_channels() as u64;
+            let bus_occupancy = busy as f64 / capacity as f64;
+            for c in 0..self.cores.len() {
+                let core = CoreId(c as u8);
+                let telem = self.uncore.prefetch_telemetry(core);
+                let prev = ad.prev_telemetry[c];
+                let retired = self.cores[c].retired();
+                let feedback = EpochFeedback {
+                    epoch: ad.epoch,
+                    start_cycle,
+                    cycles: ad.epoch_cycles,
+                    instructions: retired - ad.prev_retired[c],
+                    l2_accesses: telem.accesses - prev.accesses,
+                    l2_misses: telem.misses - prev.misses,
+                    issued: telem.issued - prev.issued,
+                    prefetch_fills: telem.prefetch_fills - prev.prefetch_fills,
+                    useful_fills: telem.useful - prev.useful,
+                    unused_evicted: telem.unused_evicted - prev.unused_evicted,
+                    late_promotions: telem.late_promotions - prev.late_promotions,
+                    dram_reads: reads,
+                    dram_writes: writes,
+                    bus_occupancy,
+                };
+                // Only core 0's record is logged; capture the name of
+                // the prefetcher that *produced* the epoch before any
+                // directive can switch it.
+                let prefetcher =
+                    (c == 0).then(|| self.uncore.l2_prefetcher(core).name().to_string());
+                let mut directives = Vec::new();
+                ad.policies[c].on_epoch(&feedback, &mut directives);
+                let mut records = Vec::with_capacity(directives.len());
+                for d in &directives {
+                    let applied = self.uncore.reconfigure_prefetcher(core, d);
+                    if applied {
+                        ad.telemetry.applied += 1;
+                    } else {
+                        ad.telemetry.rejected += 1;
+                    }
+                    records.push(DirectiveRecord {
+                        directive: d.to_string(),
+                        applied,
+                    });
+                }
+                if let Some(prefetcher) = prefetcher {
+                    ad.telemetry.epochs.push(EpochRecord {
+                        feedback,
+                        prefetcher,
+                        directives: records,
+                    });
+                }
+                ad.prev_telemetry[c] = telem;
+                ad.prev_retired[c] = retired;
+            }
+            ad.prev_dram = dram;
+            ad.epoch += 1;
+            ad.next_boundary += ad.epoch_cycles;
+        }
+    }
+
     /// Runs until core 0 has retired `instructions` more instructions (or
     /// the safety cycle cap is hit).
     ///
@@ -222,6 +347,9 @@ impl System {
         // (deadlock guard for development; never triggered in practice).
         let cycle_cap = self.cycle + instructions * 500 + 1_000_000;
         while self.cores[0].retired() < target && self.cycle < cycle_cap {
+            if self.adapt.is_some() {
+                self.adapt_epochs();
+            }
             let active = self.step();
             // Never fast-forward once the window boundary is reached:
             // the skip would push `cycle` past the stopping point and
@@ -266,6 +394,7 @@ impl System {
             core: diff_core(core_before, core_after),
             uncore: diff_uncore(uncore_before, uncore_after),
             dram: diff_dram(dram_before, dram_after),
+            adapt: self.adapt.as_ref().map(|a| a.telemetry.clone()),
         }
     }
 }

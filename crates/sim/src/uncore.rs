@@ -9,7 +9,7 @@
 //! describes.
 
 use crate::config::SimConfig;
-use best_offset::{AccessOutcome, L2Access, L2Prefetcher};
+use best_offset::{AccessOutcome, L2Access, L2Prefetcher, TuneDirective};
 use bosim_cache::policy::InsertCtx;
 use bosim_cache::policy::PolicyKind;
 use bosim_cache::{CacheArray, FillQueue, PrefetchQueue};
@@ -100,6 +100,33 @@ pub struct UncoreStats {
     pub dram_writebacks: u64,
 }
 
+/// Per-core prefetch-usefulness telemetry (the raw inputs of the
+/// adaptive-control feedback loop; see `bosim-adapt`).
+///
+/// Counters are cumulative; the epoch monitor snapshots and subtracts.
+/// At any snapshot, `useful + unused_evicted <= prefetch_fills`: every
+/// prefetch-filled line resolves at most once — its first core-side hit
+/// (useful) or its eviction with the prefetch bit still set (unused).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchTelemetry {
+    /// L2 read accesses from this core (demand + L1 prefetch).
+    pub accesses: u64,
+    /// ... of which missed (fill-queue merges included).
+    pub misses: u64,
+    /// L2 prefetch requests this core issued to the L3.
+    pub issued: u64,
+    /// Lines inserted into this core's L2 still carrying prefetch class.
+    pub prefetch_fills: u64,
+    /// First core-side touches (demand or L1 prefetch, like
+    /// `l2_prefetched_hits`) of lines whose prefetch bit was still set.
+    pub useful: u64,
+    /// Prefetch-filled lines evicted with the prefetch bit still set.
+    pub unused_evicted: u64,
+    /// Demand requests that merged with (and promoted) an in-flight
+    /// prefetch fill — correct but late prefetches.
+    pub late_promotions: u64,
+}
+
 /// One core's private L2 complex.
 #[derive(Debug)]
 struct L2 {
@@ -114,6 +141,7 @@ struct L2 {
     fill_out: VecDeque<(Cycle, LineAddr)>,
     sent_demand_this_cycle: bool,
     cand_buf: Vec<LineAddr>,
+    telemetry: PrefetchTelemetry,
 }
 
 /// The shared uncore.
@@ -168,6 +196,7 @@ impl Uncore {
                 fill_out: VecDeque::new(),
                 sent_demand_this_cycle: false,
                 cand_buf: Vec::new(),
+                telemetry: PrefetchTelemetry::default(),
             })
             .collect();
         Uncore {
@@ -215,6 +244,44 @@ impl Uncore {
         self.l2s[core.index()].prefetcher.as_ref()
     }
 
+    /// Snapshot of a core's cumulative prefetch-usefulness telemetry.
+    pub fn prefetch_telemetry(&self, core: CoreId) -> PrefetchTelemetry {
+        self.l2s[core.index()].telemetry
+    }
+
+    /// Applies a runtime reconfiguration directive to a core's L2
+    /// prefetcher. [`TuneDirective::SwitchPrefetcher`] is handled here —
+    /// the named registry prefetcher is built fresh (cold state) and
+    /// swapped in; everything else is delegated to the running
+    /// prefetcher's [`L2Prefetcher::reconfigure`] hook. Returns whether
+    /// the directive was applied.
+    pub fn reconfigure_prefetcher(&mut self, core: CoreId, directive: &TuneDirective) -> bool {
+        let l2 = &mut self.l2s[core.index()];
+        match directive {
+            TuneDirective::SwitchPrefetcher(name) => match crate::registry::registry().lookup(name)
+            {
+                Some(handle) => {
+                    l2.prefetcher = handle.build(&self.cfg);
+                    true
+                }
+                None => false,
+            },
+            other => l2.prefetcher.reconfigure(other),
+        }
+    }
+
+    /// Core cycles one line transfer occupies on a DRAM channel's data
+    /// bus (tBURST), for bus-occupancy telemetry.
+    pub fn dram_line_transfer_cycles(&self) -> u64 {
+        let t = &self.mem.config().timings;
+        t.core(t.t_burst)
+    }
+
+    /// Number of independent DRAM channels.
+    pub fn dram_channels(&self) -> usize {
+        self.mem.config().channels
+    }
+
     /// A core read request (demand miss, DL1 prefetch, or ifetch) arrives
     /// at its private L2.
     pub fn core_read(
@@ -227,11 +294,16 @@ impl Uncore {
     ) {
         let c = core.index();
         self.stats.l2_accesses += 1;
+        self.l2s[c].telemetry.accesses += 1;
         let hit = self.l2s[c].array.access(line, false);
         match hit {
             Some(info) => {
                 let outcome = if info.was_prefetch {
                     self.stats.l2_prefetched_hits += 1;
+                    // First core-side touch of a prefetch-bit line: the
+                    // fill was useful (the access cleared the bit, so
+                    // this counts once per prefetched fill).
+                    self.l2s[c].telemetry.useful += 1;
                     AccessOutcome::PrefetchedHit
                 } else {
                     self.stats.l2_hits += 1;
@@ -246,11 +318,17 @@ impl Uncore {
             }
             None => {
                 self.stats.l2_misses += 1;
+                self.l2s[c].telemetry.misses += 1;
                 // CAM search of the fill queue: late-prefetch promotion.
                 let merged = {
                     let l2 = &mut self.l2s[c];
                     if let Some(e) = l2.fq.find_mut(line) {
                         if class == ReqClass::Demand {
+                            if e.class == ReqClass::L2Prefetch {
+                                // A correct-but-late prefetch: the demand
+                                // caught the fill in flight.
+                                l2.telemetry.late_promotions += 1;
+                            }
                             e.class = ReqClass::Demand;
                         }
                         e.payload.to_il1 |= ifetch;
@@ -378,6 +456,9 @@ impl Uncore {
             },
         );
         if let Some(ev) = evicted {
+            if ev.prefetch {
+                self.l2s[c].telemetry.unused_evicted += 1;
+            }
             if ev.dirty {
                 self.l3_writeback(core, ev.line);
             }
@@ -424,6 +505,9 @@ impl Uncore {
                 let l2 = &mut self.l2s[req.core.index()];
                 if let Some(e) = l2.fq.find_mut(req.line) {
                     if req.class == ReqClass::Demand {
+                        if e.class == ReqClass::L2Prefetch {
+                            l2.telemetry.late_promotions += 1;
+                        }
                         e.class = ReqClass::Demand;
                     }
                     e.payload.to_il1 |= req.ifetch;
@@ -468,6 +552,16 @@ impl Uncore {
         // Merge into a pending L3 fill (the block is already on its way).
         if let Some(e) = self.l3_fq.find_mut(req.line) {
             if req.class == ReqClass::Demand {
+                if e.class == ReqClass::L2Prefetch && req.core == e.payload.requester {
+                    // The issuing core's own demand caught its prefetch
+                    // whose L2 entry was already released (L3-miss
+                    // window): correct but late. Only the same-core
+                    // merge counts — another core's demand leaves the
+                    // issuer's (re-reserved) L2 entry prefetch-class,
+                    // and a later same-core merge *there* would count
+                    // the same prefetch a second time.
+                    self.l2s[req.core.index()].telemetry.late_promotions += 1;
+                }
                 e.class = ReqClass::Demand;
             }
             e.payload.forwards.push(fwd);
@@ -605,8 +699,14 @@ impl Uncore {
             );
             if prefetched {
                 self.stats.l2_prefetch_fills += 1;
+                self.l2s[c].telemetry.prefetch_fills += 1;
             }
             if let Some(ev) = evicted {
+                if ev.prefetch {
+                    // Evicted with the prefetch bit still set: fetched
+                    // but never used.
+                    self.l2s[c].telemetry.unused_evicted += 1;
+                }
                 if ev.dirty {
                     self.l3_writeback(CoreId(c as u8), ev.line);
                 }
@@ -638,6 +738,7 @@ impl Uncore {
             return;
         }
         self.stats.l2_prefetches_issued += 1;
+        self.l2s[c].telemetry.issued += 1;
         let req = StalledReq {
             line,
             class: ReqClass::L2Prefetch,
@@ -749,8 +850,12 @@ impl Uncore {
             // Retry one stalled demand request.
             if let Some(req) = self.l2s[c].stalled.pop_front() {
                 // It may now merge with an in-flight fill.
-                if let Some(e) = self.l2s[c].fq.find_mut(req.line) {
+                let l2 = &mut self.l2s[c];
+                if let Some(e) = l2.fq.find_mut(req.line) {
                     if req.class == ReqClass::Demand {
+                        if e.class == ReqClass::L2Prefetch {
+                            l2.telemetry.late_promotions += 1;
+                        }
                         e.class = ReqClass::Demand;
                     }
                     e.payload.to_il1 |= req.ifetch;
@@ -1134,6 +1239,91 @@ mod tests {
         assert_eq!(got[0], (CoreId(0), b));
         let s = u.stats();
         assert_eq!((s.l3_accesses, s.l3_hits, s.l3_misses), (2, 1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn telemetry_counts_useful_fills() {
+        let mut u = uncore(crate::prefetchers::next_line());
+        u.core_read(CoreId(0), LineAddr(0x1000), ReqClass::Demand, false, 0);
+        let mut fills = Vec::new();
+        for now in 0..6000 {
+            u.tick(now, &mut fills);
+        }
+        let t = u.prefetch_telemetry(CoreId(0));
+        assert_eq!((t.issued, t.prefetch_fills), (1, 1), "{t:?}");
+        assert_eq!(t.useful, 0, "not touched yet");
+        // First demand touch of the prefetched X+1: useful.
+        u.core_read(CoreId(0), LineAddr(0x1001), ReqClass::Demand, false, 6000);
+        let t = u.prefetch_telemetry(CoreId(0));
+        assert_eq!(t.useful, 1, "{t:?}");
+        assert!(t.useful + t.unused_evicted <= t.prefetch_fills);
+        // A second touch of the same line is a plain hit, not useful.
+        u.core_read(CoreId(0), LineAddr(0x1001), ReqClass::Demand, false, 6001);
+        assert_eq!(u.prefetch_telemetry(CoreId(0)).useful, 1);
+    }
+
+    #[test]
+    fn telemetry_counts_late_promotions() {
+        let mut u = uncore(crate::prefetchers::next_line());
+        // Demand X queues prefetch X+1; once the prefetch has issued into
+        // the fill queue, a demand for X+1 merges with it (late).
+        u.core_read(CoreId(0), LineAddr(0x2000), ReqClass::Demand, false, 0);
+        let mut fills = Vec::new();
+        for now in 0..30 {
+            u.tick(now, &mut fills);
+        }
+        assert_eq!(u.stats().l2_prefetches_issued, 1, "prefetch in flight");
+        u.core_read(CoreId(0), LineAddr(0x2001), ReqClass::Demand, false, 30);
+        for now in 30..6000 {
+            u.tick(now, &mut fills);
+        }
+        let t = u.prefetch_telemetry(CoreId(0));
+        assert_eq!(t.late_promotions, 1, "{t:?}");
+    }
+
+    #[test]
+    fn telemetry_counts_unused_evicted() {
+        let mut u = uncore(crate::prefetchers::next_line());
+        let mut fills = Vec::new();
+        let mut now = 0;
+        // Prefetch-fill lines in set 0 (stride = L2 set count), never
+        // touching the prefetched ones; overflowing the 8-way set evicts
+        // untouched prefetch-bit lines.
+        for k in 1..=24u64 {
+            u.core_read(
+                CoreId(0),
+                LineAddr(k * 1024 - 1),
+                ReqClass::Demand,
+                false,
+                now,
+            );
+            for _ in 0..2000 {
+                u.tick(now, &mut fills);
+                now += 1;
+            }
+        }
+        let t = u.prefetch_telemetry(CoreId(0));
+        assert!(t.unused_evicted > 0, "{t:?}");
+        assert!(t.useful + t.unused_evicted <= t.prefetch_fills, "{t:?}");
+    }
+
+    #[test]
+    fn reconfigure_applies_directives_and_switches_prefetchers() {
+        let mut u = uncore(crate::prefetchers::bo_default());
+        assert!(u.reconfigure_prefetcher(CoreId(0), &TuneDirective::SetDegree(2)));
+        assert!(!u.reconfigure_prefetcher(CoreId(0), &TuneDirective::SetDegree(9)));
+        assert!(u.reconfigure_prefetcher(CoreId(0), &TuneDirective::SetEnabled(false)));
+        // Switch to a registered prefetcher: fresh state, new name.
+        assert!(
+            u.reconfigure_prefetcher(CoreId(0), &TuneDirective::SwitchPrefetcher("none".into()))
+        );
+        assert_eq!(u.l2_prefetcher(CoreId(0)).name(), "none");
+        // Unknown names are rejected, prefetcher unchanged.
+        assert!(!u.reconfigure_prefetcher(
+            CoreId(0),
+            &TuneDirective::SwitchPrefetcher("definitely-not-registered".into())
+        ));
+        assert_eq!(u.l2_prefetcher(CoreId(0)).name(), "none");
     }
 
     #[test]

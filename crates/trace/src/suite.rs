@@ -115,6 +115,40 @@ fn branchy(
     })
 }
 
+/// A phase-shifting synthetic workload for adaptive-control experiments
+/// (not part of the paper's 29-benchmark suite).
+///
+/// The schedule alternates coarse phases with opposite prefetch
+/// characters:
+///
+/// * **stream** — long unit-stride load streams: offset prefetching is
+///   hugely profitable, and the spare bandwidth rewards aggression;
+/// * **gather** — `A[B[i]]` over a DRAM-sized table: the sequential
+///   index stream keeps an offset learner scoring, so prefetch stays on
+///   while most issues target random gather lines — pure pollution and
+///   bandwidth waste;
+/// * **chase** — a serialised pointer chase where prefetching can
+///   neither help nor learn.
+///
+/// No static prefetcher configuration is right for every phase, which is
+/// exactly the gap epoch-based runtime reconfiguration (`bosim-adapt`)
+/// is meant to close.
+pub fn phase_shift() -> BenchmarkSpec {
+    spec(
+        "phase",
+        "shift",
+        vec![
+            stream(2, 64 * MB, vec![1], 4, 2, false, 0),
+            gather(16 * MB, 192 * MB, 2),
+            chase(96 * MB, 2, 2, 0),
+        ],
+        // Iteration counts chosen so each phase spans a comparable
+        // number of *cycles* (a chase iteration costs ~20x a stream
+        // iteration) and several adaptation epochs.
+        Schedule::Phased(vec![(0, 8_000), (1, 8_000), (0, 8_000), (2, 1_600)]),
+    )
+}
+
 /// The §5.1 cache-thrashing micro-benchmark run on the non-measured cores
 /// in the 2-core and 4-core configurations.
 pub fn thrasher() -> BenchmarkSpec {
@@ -166,9 +200,14 @@ pub fn suite() -> Vec<BenchmarkSpec> {
     ]
 }
 
-/// Looks a benchmark up by its short id (e.g. `"433"`).
+/// Looks a benchmark up by its short id (e.g. `"433"`). The extras
+/// outside the 29-benchmark suite resolve too: `"phase"` (the
+/// [`phase_shift`] workload) and `"thrash"` (the §5.1 micro-benchmark).
 pub fn benchmark(short: &str) -> Option<BenchmarkSpec> {
-    suite().into_iter().find(|b| b.short == short)
+    suite()
+        .into_iter()
+        .chain([phase_shift(), thrasher()])
+        .find(|b| b.short == short)
 }
 
 /// The short ids of the memory-intensive subset shown in Figure 13

@@ -209,11 +209,20 @@ impl BenchmarkSpec {
             .enumerate()
             .map(|(i, cfg)| KernelState::new(cfg, i, self.seed ^ (i as u64) << 32))
             .collect();
+        // The scheduler advances its cursor *before* emitting a batch,
+        // so start one position before the first entry: a phased
+        // benchmark must begin with its first listed phase. (The
+        // interleaved cursor keeps its historical start for trace
+        // stability; weights are order-insensitive anyway.)
+        let sched_pos = match &self.schedule {
+            Schedule::Interleaved(_) => 0,
+            Schedule::Phased(p) => p.len() - 1,
+        };
         SynthSource {
             name: self.name.clone(),
             kernels,
             schedule: self.schedule.clone(),
-            sched_pos: 0,
+            sched_pos,
             sched_left: 0,
             buffer: Vec::new(),
             buf_pos: 0,
@@ -355,6 +364,29 @@ mod tests {
         let k1 = layout::code_base(1);
         assert!(uops.iter().any(|u| u.pc >= k0 && u.pc < k0 + 0x0100_0000));
         assert!(uops.iter().any(|u| u.pc >= k1 && u.pc < k1 + 0x0100_0000));
+    }
+
+    #[test]
+    fn phased_schedule_starts_with_its_first_phase() {
+        let mut spec = tiny_stream_spec();
+        spec.kernels.push(KernelCfg::Compute(ComputeCfg {
+            ops_per_iter: 8,
+            fp_permille: 0,
+            div_permille: 0,
+            chain_len: 2,
+            resident_bytes: 4096,
+            load_every: 0,
+            code_blocks: 1,
+        }));
+        spec.schedule = Schedule::Phased(vec![(1, 5), (0, 5)]);
+        let uops = capture(&mut spec.build(), 30);
+        // Kernel 1 (compute) is the first listed phase: its code region
+        // must appear before kernel 0's.
+        let k0 = layout::code_base(0);
+        let k1 = layout::code_base(1);
+        let first_k0 = uops.iter().position(|u| u.pc >= k0 && u.pc < k1);
+        let first_k1 = uops.iter().position(|u| u.pc >= k1);
+        assert!(first_k1.expect("phase 0 emitted") < first_k0.unwrap_or(usize::MAX));
     }
 
     #[test]

@@ -26,9 +26,10 @@ fn main() {
     ];
     if let Ok(extra) = std::env::var("BOSIM_EXTRA_PREFETCHERS") {
         for name in extra.split(',').filter(|s| !s.trim().is_empty()) {
-            let handle = registry()
-                .lookup(name)
-                .unwrap_or_else(|| panic!("unknown prefetcher {name:?} (see registry().names())"));
+            // `resolve` (not `lookup`) so a malformed family name like
+            // `offset-0` dies with the registry's diagnosis, not a
+            // generic "unknown prefetcher".
+            let handle = registry().resolve(name).unwrap_or_else(|e| panic!("{e}"));
             variants.push((handle.name(), handle));
         }
     }

@@ -114,6 +114,7 @@ fn sample_report() -> Report {
                 l2_miss_per_ki: 30.5,
                 instructions: 1_000_000,
                 cycles: 2_000_000,
+                adapt: None,
             }],
         }],
         layout: Layout::BenchRows,
@@ -153,7 +154,8 @@ fn report_json_snapshot() {
         "          \"dram_per_ki\": 12.25,\n",
         "          \"l2_miss_per_ki\": 30.5,\n",
         "          \"instructions\": 1000000,\n",
-        "          \"cycles\": 2000000\n",
+        "          \"cycles\": 2000000,\n",
+        "          \"adapt\": null\n",
         "        }\n",
         "      ]\n",
         "    }\n",

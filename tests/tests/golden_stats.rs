@@ -66,6 +66,26 @@ fn golden_stats_second_seed() {
     }
 }
 
+/// The adaptive-control path must not break the invariance: epoch
+/// boundaries are processed before the tick of the cycle they fire on,
+/// and a fast-forward skip only jumps provably idle cycles, so the
+/// policy sees identical feedback and issues identical directives in
+/// both modes — including the full per-epoch telemetry (`SimResult`'s
+/// `PartialEq` covers `adapt`).
+#[test]
+fn golden_stats_adaptive_runs() {
+    use bosim::adapt::{policies, AdaptConfig};
+    let mut tournament = quick(prefetchers::bo_default(), 0xB05EED);
+    tournament.page = PageSize::M4;
+    tournament.adapt =
+        Some(AdaptConfig::new(policies::tournament(["offset-8", "none"])).epoch_cycles(5_000));
+    assert_invariant(tournament, "phase");
+
+    let mut governor = quick(prefetchers::bo_default(), 0xB05EED);
+    governor.adapt = Some(AdaptConfig::new(policies::degree_governor()).epoch_cycles(5_000));
+    assert_invariant(governor, "462");
+}
+
 #[test]
 fn golden_stats_multicore_large_pages() {
     let cfg = SimConfig {
