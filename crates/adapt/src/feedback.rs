@@ -10,6 +10,46 @@
 
 use bosim_stats::Json;
 
+/// One prefetch site's counter deltas over an epoch (the L1/L3 blocks
+/// of [`EpochFeedback`]; the L2 site — the paper's subject and what
+/// every pre-existing policy reads — keeps its flat fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteFeedback {
+    /// Prefetch requests the site issued downstream.
+    pub issued: u64,
+    /// Lines filled into the site's cache still carrying prefetch class.
+    pub prefetch_fills: u64,
+    /// Prefetch-filled lines first touched from above while the
+    /// prefetch bit was still set.
+    pub useful_fills: u64,
+    /// Prefetch-filled lines evicted with the prefetch bit still set.
+    pub unused_evicted: u64,
+}
+
+impl SiteFeedback {
+    /// Fills whose fate is known this epoch.
+    pub fn resolved_fills(&self) -> u64 {
+        self.useful_fills + self.unused_evicted
+    }
+
+    /// Useful fills over resolved fills; `None` until any fill resolved.
+    pub fn accuracy(&self) -> Option<f64> {
+        let resolved = self.resolved_fills();
+        (resolved > 0).then(|| self.useful_fills as f64 / resolved as f64)
+    }
+
+    /// JSON rendering used inside the epoch telemetry.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("issued", Json::from(self.issued)),
+            ("prefetch_fills", Json::from(self.prefetch_fills)),
+            ("useful_fills", Json::from(self.useful_fills)),
+            ("unused_evicted", Json::from(self.unused_evicted)),
+            ("accuracy", Json::from(self.accuracy())),
+        ])
+    }
+}
+
 /// One epoch's observations for one core: raw counter deltas over the
 /// epoch plus the shared DRAM-bus occupancy.
 ///
@@ -48,6 +88,14 @@ pub struct EpochFeedback {
     /// Fraction of the epoch the DRAM data buses were busy transferring
     /// lines, 0.0 (idle) ..= ~1.0 (saturated), aggregated over channels.
     pub bus_occupancy: f64,
+    /// L1D-site prefetch requests this core issued (post-TLB2).
+    pub l1_prefetches: u64,
+    /// L1D-site prefetch requests dropped on a TLB2 miss.
+    pub l1_tlb_drops: u64,
+    /// The shared L3 site's counters. The L3 is one structure serving
+    /// every core, so multi-core runs see the same machine-wide deltas
+    /// in each core's feedback.
+    pub l3: SiteFeedback,
 }
 
 impl EpochFeedback {
@@ -111,6 +159,9 @@ impl EpochFeedback {
             ("dram_reads", Json::from(self.dram_reads)),
             ("dram_writes", Json::from(self.dram_writes)),
             ("bus_occupancy", Json::from(self.bus_occupancy)),
+            ("l1_prefetches", Json::from(self.l1_prefetches)),
+            ("l1_tlb_drops", Json::from(self.l1_tlb_drops)),
+            ("l3", self.l3.to_json()),
         ])
     }
 }
@@ -157,5 +208,22 @@ mod tests {
         let j = fb().to_json().to_string();
         assert!(j.contains("\"accuracy\":0.8"), "{j}");
         assert!(j.contains("\"epoch\":3"));
+        assert!(j.contains("\"l3\":{"), "{j}");
+        assert!(j.contains("\"l1_prefetches\":0"), "{j}");
+    }
+
+    #[test]
+    fn site_feedback_rates() {
+        let s = SiteFeedback {
+            issued: 100,
+            prefetch_fills: 90,
+            useful_fills: 30,
+            unused_evicted: 10,
+        };
+        assert_eq!(s.resolved_fills(), 40);
+        assert!((s.accuracy().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(SiteFeedback::default().accuracy(), None);
+        let j = s.to_json().to_string();
+        assert!(j.contains("\"issued\":100"), "{j}");
     }
 }

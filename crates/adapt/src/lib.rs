@@ -35,8 +35,8 @@ mod feedback;
 mod policy;
 mod telemetry;
 
-pub use best_offset::TuneDirective;
-pub use feedback::EpochFeedback;
+pub use best_offset::{PrefetchSite, SiteDirective, TuneDirective};
+pub use feedback::{EpochFeedback, SiteFeedback};
 pub use policy::{
     policies, BandwidthThrottleSpec, DegreeGovernorSpec, PolicyHandle, PolicySpec, TournamentSpec,
     TunePolicy,

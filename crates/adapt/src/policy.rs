@@ -18,7 +18,7 @@
 //!   periodically to track phase changes.
 
 use crate::EpochFeedback;
-use best_offset::TuneDirective;
+use best_offset::{SiteDirective, TuneDirective};
 use std::fmt;
 use std::sync::Arc;
 
@@ -28,9 +28,14 @@ pub trait TunePolicy: fmt::Debug {
     fn name(&self) -> String;
 
     /// Observes one finished epoch and appends any reconfiguration
-    /// directives to `out`. Called once per epoch per core, in epoch
-    /// order; the policy owns whatever state it needs between calls.
-    fn on_epoch(&mut self, feedback: &EpochFeedback, out: &mut Vec<TuneDirective>);
+    /// directives — each addressed to a prefetch site — to `out`.
+    /// Called once per epoch per core, in epoch order; the policy owns
+    /// whatever state it needs between calls. A bare
+    /// [`TuneDirective`]`.into()` addresses the L2 site. Directives
+    /// addressed to the *shared* L3 site are honoured from core 0's
+    /// policy instance only (other cores' L3 directives are recorded as
+    /// rejected) — the L3 is one engine, not a per-core structure.
+    fn on_epoch(&mut self, feedback: &EpochFeedback, out: &mut Vec<SiteDirective>);
 }
 
 /// A description of a tuning policy that can build the live per-core
@@ -155,10 +160,10 @@ impl TunePolicy for DegreeGovernor {
         self.spec.name()
     }
 
-    fn on_epoch(&mut self, fb: &EpochFeedback, out: &mut Vec<TuneDirective>) {
+    fn on_epoch(&mut self, fb: &EpochFeedback, out: &mut Vec<SiteDirective>) {
         if !self.initialized {
             self.initialized = true;
-            out.push(TuneDirective::SetDegree(self.degree));
+            out.push(TuneDirective::SetDegree(self.degree).into());
         }
         if fb.resolved_fills() < self.spec.min_fills {
             return;
@@ -167,12 +172,12 @@ impl TunePolicy for DegreeGovernor {
         let occ = fb.bus_occupancy;
         if self.degree == 1 && acc >= self.spec.accuracy_up && occ < self.spec.occupancy_cap {
             self.degree = 2;
-            out.push(TuneDirective::SetDegree(2));
+            out.push(TuneDirective::SetDegree(2).into());
         } else if self.degree == 2
             && (acc <= self.spec.accuracy_down || occ >= self.spec.occupancy_cap)
         {
             self.degree = 1;
-            out.push(TuneDirective::SetDegree(1));
+            out.push(TuneDirective::SetDegree(1).into());
         }
     }
 }
@@ -236,17 +241,17 @@ impl TunePolicy for BandwidthThrottle {
         self.spec.name()
     }
 
-    fn on_epoch(&mut self, fb: &EpochFeedback, out: &mut Vec<TuneDirective>) {
+    fn on_epoch(&mut self, fb: &EpochFeedback, out: &mut Vec<SiteDirective>) {
         if self.enabled {
             let accurate = fb.resolved_fills() >= self.spec.min_fills
                 && fb.accuracy().is_some_and(|a| a >= self.spec.accuracy_floor);
             if fb.bus_occupancy >= self.spec.occupancy_high && !accurate {
                 self.enabled = false;
-                out.push(TuneDirective::SetEnabled(false));
+                out.push(TuneDirective::SetEnabled(false).into());
             }
         } else if fb.bus_occupancy <= self.spec.occupancy_low {
             self.enabled = true;
-            out.push(TuneDirective::SetEnabled(true));
+            out.push(TuneDirective::SetEnabled(true).into());
         }
     }
 }
@@ -352,11 +357,9 @@ impl Tournament {
         (best, ipc(&self.scores[best]))
     }
 
-    fn explore(&mut self, out: &mut Vec<TuneDirective>) {
+    fn explore(&mut self, out: &mut Vec<SiteDirective>) {
         self.scores.fill((0, 0));
-        out.push(TuneDirective::SwitchPrefetcher(
-            self.spec.candidates[0].clone(),
-        ));
+        out.push(TuneDirective::SwitchPrefetcher(self.spec.candidates[0].clone()).into());
         self.state = TournamentState::Explore { idx: 0, seen: 0 };
     }
 }
@@ -366,7 +369,7 @@ impl TunePolicy for Tournament {
         self.spec.name()
     }
 
-    fn on_epoch(&mut self, fb: &EpochFeedback, out: &mut Vec<TuneDirective>) {
+    fn on_epoch(&mut self, fb: &EpochFeedback, out: &mut Vec<SiteDirective>) {
         if self.spec.candidates.len() < 2 {
             return; // nothing to select between
         }
@@ -384,9 +387,10 @@ impl TunePolicy for Tournament {
                 if *seen >= self.spec.trial_epochs.max(1) {
                     let next = *idx + 1;
                     if next < self.spec.candidates.len() {
-                        out.push(TuneDirective::SwitchPrefetcher(
-                            self.spec.candidates[next].clone(),
-                        ));
+                        out.push(
+                            TuneDirective::SwitchPrefetcher(self.spec.candidates[next].clone())
+                                .into(),
+                        );
                         self.state = TournamentState::Explore { idx: next, seen: 0 };
                     } else {
                         let current = *idx;
@@ -396,9 +400,10 @@ impl TunePolicy for Tournament {
                         // prefetcher (BO) keeps its just-warmed learning
                         // state for the exploit window.
                         if w != current {
-                            out.push(TuneDirective::SwitchPrefetcher(
-                                self.spec.candidates[w].clone(),
-                            ));
+                            out.push(
+                                TuneDirective::SwitchPrefetcher(self.spec.candidates[w].clone())
+                                    .into(),
+                            );
                         }
                         self.state = TournamentState::Exploit {
                             left: self.spec.exploit_epochs.max(1),
@@ -457,7 +462,7 @@ mod tests {
         }
     }
 
-    fn step(p: &mut dyn TunePolicy, f: &EpochFeedback) -> Vec<TuneDirective> {
+    fn step(p: &mut dyn TunePolicy, f: &EpochFeedback) -> Vec<SiteDirective> {
         let mut out = Vec::new();
         p.on_epoch(f, &mut out);
         out
@@ -470,20 +475,20 @@ mod tests {
         // have been configured differently); too few fills otherwise.
         assert_eq!(
             step(p.as_mut(), &fb(10, 0, 0.1)),
-            vec![TuneDirective::SetDegree(1)]
+            vec![TuneDirective::SetDegree(1).into()]
         );
         assert!(step(p.as_mut(), &fb(10, 0, 0.1)).is_empty());
         // Accurate and idle bus: degree 2.
         assert_eq!(
             step(p.as_mut(), &fb(90, 10, 0.1)),
-            vec![TuneDirective::SetDegree(2)]
+            vec![TuneDirective::SetDegree(2).into()]
         );
         // Staying accurate: no churn.
         assert!(step(p.as_mut(), &fb(90, 10, 0.1)).is_empty());
         // Accuracy collapses: back to degree 1.
         assert_eq!(
             step(p.as_mut(), &fb(20, 80, 0.1)),
-            vec![TuneDirective::SetDegree(1)]
+            vec![TuneDirective::SetDegree(1).into()]
         );
     }
 
@@ -494,17 +499,17 @@ mod tests {
         // initial state-establishing directive).
         assert_eq!(
             step(p.as_mut(), &fb(90, 10, 0.9)),
-            vec![TuneDirective::SetDegree(1)]
+            vec![TuneDirective::SetDegree(1).into()]
         );
         assert!(step(p.as_mut(), &fb(90, 10, 0.9)).is_empty());
         assert_eq!(
             step(p.as_mut(), &fb(90, 10, 0.2)),
-            vec![TuneDirective::SetDegree(2)]
+            vec![TuneDirective::SetDegree(2).into()]
         );
         // Pressure returns: demote even though accuracy is fine.
         assert_eq!(
             step(p.as_mut(), &fb(90, 10, 0.9)),
-            vec![TuneDirective::SetDegree(1)]
+            vec![TuneDirective::SetDegree(1).into()]
         );
     }
 
@@ -514,13 +519,13 @@ mod tests {
         assert!(step(p.as_mut(), &fb(10, 30, 0.6)).is_empty(), "below high");
         assert_eq!(
             step(p.as_mut(), &fb(10, 30, 0.8)),
-            vec![TuneDirective::SetEnabled(false)]
+            vec![TuneDirective::SetEnabled(false).into()]
         );
         // Still above the low threshold: stays gated.
         assert!(step(p.as_mut(), &fb(0, 0, 0.6)).is_empty());
         assert_eq!(
             step(p.as_mut(), &fb(0, 0, 0.3)),
-            vec![TuneDirective::SetEnabled(true)]
+            vec![TuneDirective::SetEnabled(true).into()]
         );
     }
 
@@ -532,7 +537,7 @@ mod tests {
         // Same pressure, poor accuracy: gate.
         assert_eq!(
             step(p.as_mut(), &fb(30, 70, 0.9)),
-            vec![TuneDirective::SetEnabled(false)]
+            vec![TuneDirective::SetEnabled(false).into()]
         );
     }
 
@@ -550,17 +555,17 @@ mod tests {
         // Boundary 0: start exploring with candidate 0.
         assert_eq!(
             step(p.as_mut(), &epoch(500)),
-            vec![TuneDirective::SwitchPrefetcher("bo".into())]
+            vec![TuneDirective::SwitchPrefetcher("bo".into()).into()]
         );
         // "bo" scores 2.0 IPC; move on to "none".
         assert_eq!(
             step(p.as_mut(), &epoch(2_000)),
-            vec![TuneDirective::SwitchPrefetcher("none".into())]
+            vec![TuneDirective::SwitchPrefetcher("none".into()).into()]
         );
         // "none" scores 0.5 IPC; the winner ("bo") is adopted.
         assert_eq!(
             step(p.as_mut(), &epoch(500)),
-            vec![TuneDirective::SwitchPrefetcher("bo".into())]
+            vec![TuneDirective::SwitchPrefetcher("bo".into()).into()]
         );
         // Exploit for 3 epochs...
         assert!(step(p.as_mut(), &epoch(2_000)).is_empty());
@@ -568,7 +573,7 @@ mod tests {
         // ...then re-explore from candidate 0.
         assert_eq!(
             step(p.as_mut(), &epoch(2_000)),
-            vec![TuneDirective::SwitchPrefetcher("bo".into())]
+            vec![TuneDirective::SwitchPrefetcher("bo".into()).into()]
         );
     }
 

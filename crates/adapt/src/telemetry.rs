@@ -14,7 +14,8 @@ use bosim_stats::{Align, Json, Table};
 /// One applied-or-rejected directive at an epoch boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectiveRecord {
-    /// Rendered directive (e.g. `"degree=2"`, `"switch=none"`).
+    /// Rendered site-addressed directive (e.g. `"l2:degree=2"`,
+    /// `"l3:prefetch=off"`, `"l2:switch=none"`).
     pub directive: String,
     /// Whether the target prefetcher (or the simulator, for switches)
     /// accepted it.
@@ -72,10 +73,11 @@ pub struct AdaptTelemetry {
 impl AdaptTelemetry {
     /// Checks the counter invariants the telemetry must satisfy:
     ///
-    /// * cumulatively, `useful + unused_evicted <= prefetch_fills` —
+    /// * cumulatively, `useful + unused_evicted <= prefetch_fills` at
+    ///   **every site** (the flat L2 counters and the `l3` block) —
     ///   every prefetch-filled line resolves at most once;
-    /// * every derived rate (accuracy, coverage, lateness) lies in
-    ///   `[0, 1]`;
+    /// * every derived rate (accuracy, coverage, lateness, per-site
+    ///   accuracy) lies in `[0, 1]`;
     /// * bus occupancy is non-negative and sane (≤ 1.25; boundary bursts
     ///   may spill a little past 1.0);
     /// * epoch indices are consecutive.
@@ -85,6 +87,7 @@ impl AdaptTelemetry {
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         let (mut useful, mut unused, mut fills) = (0u64, 0u64, 0u64);
+        let (mut l3_useful, mut l3_unused, mut l3_fills) = (0u64, 0u64, 0u64);
         for (i, r) in self.epochs.iter().enumerate() {
             let fb = &r.feedback;
             if fb.epoch != i as u64 {
@@ -93,10 +96,14 @@ impl AdaptTelemetry {
             useful += fb.useful_fills;
             unused += fb.unused_evicted;
             fills += fb.prefetch_fills;
+            l3_useful += fb.l3.useful_fills;
+            l3_unused += fb.l3.unused_evicted;
+            l3_fills += fb.l3.prefetch_fills;
             for (label, rate) in [
                 ("accuracy", fb.accuracy()),
                 ("coverage", fb.coverage()),
                 ("lateness", fb.lateness()),
+                ("l3 accuracy", fb.l3.accuracy()),
             ] {
                 if let Some(v) = rate {
                     if !(0.0..=1.0).contains(&v) {
@@ -113,7 +120,12 @@ impl AdaptTelemetry {
         }
         if useful + unused > fills {
             return Err(format!(
-                "useful ({useful}) + unused-evicted ({unused}) exceeds prefetch fills ({fills})"
+                "L2 site: useful ({useful}) + unused-evicted ({unused}) exceeds prefetch fills ({fills})"
+            ));
+        }
+        if l3_useful + l3_unused > l3_fills {
+            return Err(format!(
+                "L3 site: useful ({l3_useful}) + unused-evicted ({l3_unused}) exceeds prefetch fills ({l3_fills})"
             ));
         }
         Ok(())
@@ -232,6 +244,30 @@ mod tests {
         let t = telemetry(vec![record(0, 50, 40, 20)]);
         let err = t.check_invariants().unwrap_err();
         assert!(err.contains("exceeds prefetch fills"), "{err}");
+        assert!(err.contains("L2 site"), "{err}");
+    }
+
+    #[test]
+    fn l3_site_over_resolution_is_caught() {
+        // The per-site invariant applies to the L3 block independently.
+        let mut r = record(0, 100, 10, 0);
+        r.feedback.l3 = crate::SiteFeedback {
+            issued: 5,
+            prefetch_fills: 4,
+            useful_fills: 3,
+            unused_evicted: 2,
+        };
+        let err = telemetry(vec![r]).check_invariants().unwrap_err();
+        assert!(err.contains("L3 site"), "{err}");
+        // A consistent L3 block passes.
+        let mut ok = record(0, 100, 10, 0);
+        ok.feedback.l3 = crate::SiteFeedback {
+            issued: 5,
+            prefetch_fills: 4,
+            useful_fills: 2,
+            unused_evicted: 2,
+        };
+        assert!(telemetry(vec![ok]).check_invariants().is_ok());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! `p+d` (and `p+2d` at degree 2). Unlike offset prefetchers it needs no
 //! learning phase, but also has no notion of timeliness.
 
-use best_offset::{L2Access, L2Prefetcher};
+use best_offset::{CacheAccess, Prefetcher};
 use bosim_types::{LineAddr, PageSize};
 
 /// Lines per access map (a 16KB zone).
@@ -144,8 +144,8 @@ impl AmpmPrefetcher {
     }
 }
 
-impl L2Prefetcher for AmpmPrefetcher {
-    fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>) {
+impl Prefetcher for AmpmPrefetcher {
+    fn on_access(&mut self, access: CacheAccess, out: &mut Vec<LineAddr>) {
         if !access.outcome.is_eligible() {
             return;
         }
@@ -203,7 +203,7 @@ mod tests {
     fn access(p: &mut AmpmPrefetcher, line: u64) -> Vec<LineAddr> {
         let mut out = Vec::new();
         p.on_access(
-            L2Access {
+            CacheAccess {
                 line: LineAddr(line),
                 outcome: AccessOutcome::Miss,
             },

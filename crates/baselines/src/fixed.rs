@@ -5,7 +5,7 @@
 //! prefetches `X + 1`. Figure 7 and Figure 8 generalise this to arbitrary
 //! fixed offsets.
 
-use best_offset::{L2Access, L2Prefetcher, TuneDirective};
+use best_offset::{CacheAccess, Prefetcher, TuneDirective};
 use bosim_types::{LineAddr, PageSize};
 
 /// An L2 prefetcher with a constant offset `D` (degree one).
@@ -53,8 +53,8 @@ impl FixedOffsetPrefetcher {
     }
 }
 
-impl L2Prefetcher for FixedOffsetPrefetcher {
-    fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>) {
+impl Prefetcher for FixedOffsetPrefetcher {
+    fn on_access(&mut self, access: CacheAccess, out: &mut Vec<LineAddr>) {
         if !self.enabled || !access.outcome.is_eligible() {
             return;
         }
@@ -97,7 +97,7 @@ mod tests {
     fn run(p: &mut FixedOffsetPrefetcher, line: u64, outcome: AccessOutcome) -> Vec<LineAddr> {
         let mut out = Vec::new();
         p.on_access(
-            L2Access {
+            CacheAccess {
                 line: LineAddr(line),
                 outcome,
             },

@@ -9,9 +9,10 @@
 //! * [`AmpmPrefetcher`] — an AMPM-lite extension (the DPC-1 winner the
 //!   paper positions SBP against).
 //!
-//! All L2 prefetchers implement [`best_offset::L2Prefetcher`]; the DL1
-//! stride prefetcher has its own retire/access interface because it works
-//! on virtual addresses and trains in program order.
+//! All line-address prefetchers implement the level-agnostic
+//! [`best_offset::Prefetcher`] trait (attachable to the L2 or L3 site);
+//! the DL1 stride prefetcher implements [`best_offset::L1Prefetcher`]
+//! because it works on virtual addresses and trains in program order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

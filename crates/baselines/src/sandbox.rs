@@ -14,7 +14,7 @@
 //! prefetches recorded in the Bloom filter — prefetch timeliness is never
 //! observed, which is exactly the weakness BO addresses.
 
-use best_offset::{L2Access, L2Prefetcher, OffsetList};
+use best_offset::{CacheAccess, OffsetList, Prefetcher};
 use bosim_types::{mix64, LineAddr, PageSize};
 
 /// A small Bloom filter used as the prefetch sandbox.
@@ -211,8 +211,8 @@ impl SandboxPrefetcher {
     }
 }
 
-impl L2Prefetcher for SandboxPrefetcher {
-    fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>) {
+impl Prefetcher for SandboxPrefetcher {
+    fn on_access(&mut self, access: CacheAccess, out: &mut Vec<LineAddr>) {
         if !access.outcome.is_eligible() {
             return;
         }
@@ -276,7 +276,7 @@ mod tests {
     fn access(p: &mut SandboxPrefetcher, line: u64) -> Vec<LineAddr> {
         let mut out = Vec::new();
         p.on_access(
-            L2Access {
+            CacheAccess {
                 line: LineAddr(line),
                 outcome: AccessOutcome::Miss,
             },

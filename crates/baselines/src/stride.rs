@@ -12,6 +12,7 @@
 //! filter, then translated by the TLB2 before being issued (done by the
 //! simulator; a TLB2 miss drops the request).
 
+use best_offset::{L1Prefetcher, TuneDirective};
 use bosim_types::VirtAddr;
 
 const CONF_MAX: u8 = 15;
@@ -50,6 +51,35 @@ impl Default for StrideConfig {
     }
 }
 
+impl StrideConfig {
+    /// Validates the parameters [`StridePrefetcher::new`] would otherwise
+    /// panic on (used by configuration validation so an invalid spec is
+    /// reported before any simulation runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways < 1 || self.entries < self.ways {
+            return Err(format!(
+                "stride table needs entries ({}) >= ways ({}) >= 1",
+                self.entries, self.ways
+            ));
+        }
+        let sets = self.entries / self.ways;
+        if !sets.is_power_of_two() {
+            return Err(format!(
+                "stride table set count {sets} (entries {} / ways {}) must be a power of two",
+                self.entries, self.ways
+            ));
+        }
+        if self.filter_entries < 1 {
+            return Err("stride recent-prefetch filter needs at least one entry".into());
+        }
+        Ok(())
+    }
+}
+
 /// The PC-indexed DL1 stride prefetcher.
 #[derive(Debug)]
 pub struct StridePrefetcher {
@@ -61,6 +91,9 @@ pub struct StridePrefetcher {
     filter_pos: usize,
     issued: u64,
     trained: u64,
+    /// External gate imposed by an adaptive tuning policy
+    /// (`TuneDirective::SetEnabled`); training keeps running while gated.
+    enabled: bool,
 }
 
 impl StridePrefetcher {
@@ -82,6 +115,7 @@ impl StridePrefetcher {
             filter_pos: 0,
             issued: 0,
             trained: 0,
+            enabled: true,
             cfg,
         }
     }
@@ -164,6 +198,9 @@ impl StridePrefetcher {
     /// The caller must still translate through the TLB2 (dropping on a
     /// TLB2 miss) and perform line-level dedup against the MSHRs.
     pub fn on_access(&mut self, pc: u64, vaddr: VirtAddr) -> Option<VirtAddr> {
+        if !self.enabled {
+            return None;
+        }
         let distance = self.cfg.distance;
         let set_idx = self.set_of(pc);
         let set = self.set_slice(set_idx);
@@ -185,6 +222,33 @@ impl StridePrefetcher {
         self.filter_pos = (self.filter_pos + 1) % self.filter.len();
         self.issued += 1;
         Some(VirtAddr(target))
+    }
+}
+
+/// The L1D-site attach point: the core drives training/issue through
+/// this trait when the stride prefetcher is plugged in via the registry
+/// (`l1:stride`).
+impl L1Prefetcher for StridePrefetcher {
+    fn on_retire(&mut self, pc: u64, vaddr: VirtAddr) {
+        StridePrefetcher::on_retire(self, pc, vaddr);
+    }
+
+    fn on_access(&mut self, pc: u64, vaddr: VirtAddr) -> Option<VirtAddr> {
+        StridePrefetcher::on_access(self, pc, vaddr)
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn reconfigure(&mut self, directive: &TuneDirective) -> bool {
+        match directive {
+            TuneDirective::SetEnabled(on) => {
+                self.enabled = *on;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -277,6 +341,54 @@ mod tests {
             p.on_access(0x400504, VirtAddr(0xA0000)),
             Some(VirtAddr(0xA0000 + 16 * 256))
         );
+    }
+
+    #[test]
+    fn external_gate_stops_issue_but_not_training() {
+        let mut p = StridePrefetcher::with_defaults();
+        let pc = 0x400600;
+        assert!(L1Prefetcher::reconfigure(
+            &mut p,
+            &TuneDirective::SetEnabled(false)
+        ));
+        // Training continues while gated...
+        for i in 0..20 {
+            L1Prefetcher::on_retire(&mut p, pc, VirtAddr(0x1000 + i * 64));
+        }
+        assert_eq!(L1Prefetcher::on_access(&mut p, pc, VirtAddr(0x2000)), None);
+        // ...so re-enabling issues immediately from the warm table.
+        assert!(L1Prefetcher::reconfigure(
+            &mut p,
+            &TuneDirective::SetEnabled(true)
+        ));
+        assert!(L1Prefetcher::on_access(&mut p, pc, VirtAddr(0x2000)).is_some());
+        assert_eq!(L1Prefetcher::name(&p), "stride");
+        assert!(!L1Prefetcher::reconfigure(
+            &mut p,
+            &TuneDirective::SetDegree(2)
+        ));
+    }
+
+    #[test]
+    fn config_validation_matches_constructor_panics() {
+        assert!(StrideConfig::default().validate().is_ok());
+        let bad_sets = StrideConfig {
+            entries: 24,
+            ways: 8,
+            ..Default::default()
+        };
+        assert!(bad_sets.validate().unwrap_err().contains("power of two"));
+        let bad_ways = StrideConfig {
+            entries: 4,
+            ways: 8,
+            ..Default::default()
+        };
+        assert!(bad_ways.validate().is_err());
+        let bad_filter = StrideConfig {
+            filter_entries: 0,
+            ..Default::default()
+        };
+        assert!(bad_filter.validate().unwrap_err().contains("filter"));
     }
 
     #[test]

@@ -8,8 +8,10 @@ fn main() {
         "fig04_dl1_stride",
         "Figure 4: disabling the DL1 stride prefetcher",
         |page, cores| {
+            // The ablation empties the L1D prefetch site (the refactored
+            // form of the old `dl1_stride = false` toggle).
             let mut c = SimConfig::baseline(page, cores);
-            c.dl1_stride = false;
+            c.l1_prefetcher = None;
             c
         },
     )

@@ -29,6 +29,19 @@ pub struct RunSummary {
     pub instructions: u64,
     /// Measured cycles.
     pub cycles: u64,
+    /// L1D-site prefetches issued to the uncore (measured window).
+    pub l1_prefetches: u64,
+    /// L1D-site prefetches dropped on a TLB2 miss (measured window).
+    pub l1_prefetch_tlb_drops: u64,
+    /// L2-site prefetches issued to the L3 (measured window, core 0's
+    /// L2 plus the other cores' — the uncore counter is machine-wide).
+    pub l2_prefetches_issued: u64,
+    /// Lines filled into the L2s still carrying prefetch class.
+    pub l2_prefetch_fills: u64,
+    /// L3-site prefetches issued to DRAM (measured window).
+    pub l3_prefetches_issued: u64,
+    /// Lines filled into the L3 still carrying the L3-prefetch class.
+    pub l3_prefetch_fills: u64,
     /// Adaptive-control epoch telemetry (adaptive runs only).
     pub adapt: Option<AdaptTelemetry>,
 }
@@ -48,6 +61,12 @@ impl From<&SimResult> for RunSummary {
             l2_miss_per_ki: r.uncore.l2_misses as f64 / ki,
             instructions: r.instructions,
             cycles: r.cycles,
+            l1_prefetches: r.core.l1_prefetches,
+            l1_prefetch_tlb_drops: r.core.l1_prefetch_tlb_drops,
+            l2_prefetches_issued: r.uncore.l2_prefetches_issued,
+            l2_prefetch_fills: r.uncore.l2_prefetch_fills,
+            l3_prefetches_issued: r.uncore.l3_prefetches_issued,
+            l3_prefetch_fills: r.uncore.l3_prefetch_fills,
             adapt: r.adapt.clone(),
         }
     }
@@ -63,6 +82,21 @@ impl RunSummary {
             ("l2_miss_per_ki", Json::from(self.l2_miss_per_ki)),
             ("instructions", Json::from(self.instructions)),
             ("cycles", Json::from(self.cycles)),
+            ("l1_prefetches", Json::from(self.l1_prefetches)),
+            (
+                "l1_prefetch_tlb_drops",
+                Json::from(self.l1_prefetch_tlb_drops),
+            ),
+            (
+                "l2_prefetches_issued",
+                Json::from(self.l2_prefetches_issued),
+            ),
+            ("l2_prefetch_fills", Json::from(self.l2_prefetch_fills)),
+            (
+                "l3_prefetches_issued",
+                Json::from(self.l3_prefetches_issued),
+            ),
+            ("l3_prefetch_fills", Json::from(self.l3_prefetch_fills)),
             (
                 "adapt",
                 self.adapt

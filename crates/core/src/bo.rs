@@ -21,7 +21,7 @@
 //! is turned off (§4.3) — but learning continues, with `Y` itself written
 //! to the RR table on every fill (i.e. `D = 0`).
 
-use crate::iface::{AccessOutcome, L2Access, L2Prefetcher, TuneDirective};
+use crate::iface::{AccessOutcome, CacheAccess, Prefetcher, TuneDirective};
 use crate::offsets::OffsetList;
 use crate::rr_table::RrTable;
 use bosim_types::{LineAddr, PageSize};
@@ -356,8 +356,8 @@ impl BestOffsetPrefetcher {
     }
 }
 
-impl L2Prefetcher for BestOffsetPrefetcher {
-    fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>) {
+impl Prefetcher for BestOffsetPrefetcher {
+    fn on_access(&mut self, access: CacheAccess, out: &mut Vec<LineAddr>) {
         if !access.outcome.is_eligible() {
             return;
         }
@@ -439,7 +439,7 @@ mod tests {
     fn access(p: &mut BestOffsetPrefetcher, line: u64) -> Vec<LineAddr> {
         let mut out = Vec::new();
         p.on_access(
-            L2Access {
+            CacheAccess {
                 line: LineAddr(line),
                 outcome: AccessOutcome::Miss,
             },
@@ -462,7 +462,7 @@ mod tests {
         let mut p = bo();
         let mut out = Vec::new();
         p.on_access(
-            L2Access {
+            CacheAccess {
                 line: LineAddr(7),
                 outcome: AccessOutcome::Hit,
             },

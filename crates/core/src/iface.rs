@@ -1,18 +1,74 @@
-//! The L2 prefetcher interface shared by BO and all baselines.
+//! The level-agnostic prefetcher interface shared by BO and all
+//! baselines.
 //!
-//! L2 prefetchers in the paper (§5.6) "ignore load/store PCs and work on
-//! physical line addresses", observe L2 read accesses from the core side
-//! (L1 misses *and* L1 prefetches), and trigger on misses and prefetched
-//! hits. Prefetch addresses never cross page boundaries.
+//! Prefetchers attach to one of three *sites* of the hierarchy
+//! ([`PrefetchSite`]): the DL1 (virtual-address, PC-indexed — the §5.5
+//! stride prefetcher), the private L2 (the paper's main subject) or the
+//! shared L3. The L2 and L3 sites share the physical-line-address
+//! [`Prefetcher`] trait: per §5.6 such prefetchers "ignore load/store PCs
+//! and work on physical line addresses", observe read accesses from the
+//! level above (demand misses *and* upper-level prefetches), and trigger
+//! on misses and prefetched hits. Prefetch addresses never cross page
+//! boundaries. The L1D site uses the separate [`L1Prefetcher`] trait,
+//! because DL1 prefetchers see virtual addresses and load/store PCs and
+//! train at retirement.
+//!
+//! `L2Prefetcher` and `L2Access` remain as thin compatibility aliases of
+//! [`Prefetcher`] and [`CacheAccess`] for code written against the old
+//! L2-only interface.
 
-use bosim_types::{LineAddr, PageSize};
+use bosim_types::{LineAddr, PageSize, VirtAddr};
 use std::fmt;
 
-/// A runtime reconfiguration request for an L2 prefetcher.
+/// A prefetcher attach point in the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchSite {
+    /// The first-level data cache (virtual addresses, PC-indexed).
+    L1D,
+    /// The private second-level cache (physical line addresses).
+    L2,
+    /// The shared third-level cache (physical line addresses).
+    L3,
+}
+
+impl PrefetchSite {
+    /// Every site, in hierarchy order.
+    pub const ALL: [PrefetchSite; 3] = [PrefetchSite::L1D, PrefetchSite::L2, PrefetchSite::L3];
+
+    /// The site's short label, as used in site-qualified registry names
+    /// (`"l1"`, `"l2"`, `"l3"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetchSite::L1D => "l1",
+            PrefetchSite::L2 => "l2",
+            PrefetchSite::L3 => "l3",
+        }
+    }
+
+    /// Parses a site label (`"l1"`/`"l1d"`, `"l2"`, `"l3"`,
+    /// case-insensitive).
+    pub fn parse(s: &str) -> Option<PrefetchSite> {
+        match s.to_ascii_lowercase().as_str() {
+            "l1" | "l1d" => Some(PrefetchSite::L1D),
+            "l2" => Some(PrefetchSite::L2),
+            "l3" => Some(PrefetchSite::L3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PrefetchSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A runtime reconfiguration request for a prefetcher.
 ///
 /// Directives are produced by adaptive tuning policies (the
-/// `bosim-adapt` crate) at epoch boundaries and applied through
-/// [`L2Prefetcher::reconfigure`]. A prefetcher honours the directives it
+/// `bosim-adapt` crate) at epoch boundaries, addressed to a site via
+/// [`SiteDirective`], and applied through [`Prefetcher::reconfigure`]
+/// (or the L1/L3 equivalents). A prefetcher honours the directives it
 /// understands and rejects the rest — the caller records which ones were
 /// applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,9 +81,19 @@ pub enum TuneDirective {
     SetEnabled(bool),
     /// Replace the prefetcher with the named registry entry. This is
     /// handled by the *simulator* (which owns prefetcher construction),
-    /// never by the prefetcher itself — [`L2Prefetcher::reconfigure`]
+    /// never by the prefetcher itself — [`Prefetcher::reconfigure`]
     /// implementations always reject it.
     SwitchPrefetcher(String),
+}
+
+impl TuneDirective {
+    /// Addresses this directive to `site`.
+    pub fn at(self, site: PrefetchSite) -> SiteDirective {
+        SiteDirective {
+            site,
+            directive: self,
+        }
+    }
 }
 
 impl fmt::Display for TuneDirective {
@@ -42,10 +108,36 @@ impl fmt::Display for TuneDirective {
     }
 }
 
-/// Outcome of an L2 read access, as seen by the prefetcher.
+/// A [`TuneDirective`] addressed to one prefetch site.
+///
+/// Tuning policies emit these; the simulator routes each to the named
+/// site's prefetcher (the per-core L1/L2 engines or the shared L3 one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteDirective {
+    /// The addressed site.
+    pub site: PrefetchSite,
+    /// The directive itself.
+    pub directive: TuneDirective,
+}
+
+impl fmt::Display for SiteDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.site, self.directive)
+    }
+}
+
+/// A bare directive defaults to the L2 site — the paper's subject and
+/// the address of every pre-existing tuning policy.
+impl From<TuneDirective> for SiteDirective {
+    fn from(directive: TuneDirective) -> Self {
+        directive.at(PrefetchSite::L2)
+    }
+}
+
+/// Outcome of a cache read access, as seen by the site's prefetcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
-    /// The line missed in the L2.
+    /// The line missed at this level.
     Miss,
     /// The line hit and its prefetch bit was set ("prefetched hit"):
     /// treated like a miss by the prefetchers (§5.6).
@@ -63,28 +155,33 @@ impl AccessOutcome {
     }
 }
 
-/// One L2 read access presented to the prefetcher.
+/// One read access presented to a line-address prefetcher (L2 or L3
+/// site).
 #[derive(Debug, Clone, Copy)]
-pub struct L2Access {
+pub struct CacheAccess {
     /// Physical line address of the access.
     pub line: LineAddr,
     /// Hit/miss/prefetched-hit outcome.
     pub outcome: AccessOutcome,
 }
 
-/// An L2 prefetcher.
+/// Compatibility alias of [`CacheAccess`] from the L2-only interface.
+pub type L2Access = CacheAccess;
+
+/// A line-address prefetcher, attachable to the L2 or L3 site.
 ///
 /// Implementations push prefetch *candidates* (already page-bounded) into
 /// the caller's buffer; the surrounding simulator applies queueing,
 /// deduplication against in-flight requests, and the mandatory tag checks.
-pub trait L2Prefetcher: std::fmt::Debug {
-    /// Observes an L2 read access from the core side (demand miss path or
-    /// L1 prefetch) and appends prefetch requests to `out`.
-    fn on_access(&mut self, access: L2Access, out: &mut Vec<LineAddr>);
+pub trait Prefetcher: std::fmt::Debug {
+    /// Observes a read access from the level above (demand miss path or
+    /// upper-level prefetch) and appends prefetch requests to `out`.
+    fn on_access(&mut self, access: CacheAccess, out: &mut Vec<LineAddr>);
 
-    /// Observes a line being inserted into the L2. `prefetched` is true
-    /// when the line still carries its prefetch class (it was not
-    /// promoted to a demand miss in the meantime).
+    /// Observes a line being inserted into this site's cache.
+    /// `prefetched` is true when the line still carries the prefetch
+    /// class this site issued (it was not promoted to a demand miss in
+    /// the meantime).
     fn on_fill(&mut self, line: LineAddr, prefetched: bool);
 
     /// Short name for reports ("BO", "SBP", "next-line", ...).
@@ -102,7 +199,39 @@ pub trait L2Prefetcher: std::fmt::Debug {
     }
 }
 
-/// The "no L2 prefetch" configuration (Figure 5 baseline).
+/// Compatibility alias of [`Prefetcher`] from the L2-only interface.
+pub use self::Prefetcher as L2Prefetcher;
+
+/// A DL1-site prefetcher (the L1D attach point).
+///
+/// Unlike the line-address [`Prefetcher`], an L1 prefetcher works on
+/// virtual addresses and load/store PCs: it trains at retirement (so
+/// memory accesses are seen in program order, §5.5) and proposes one
+/// virtual prefetch address at DL1 access time. The surrounding core
+/// keeps the §5.5 issue path: the proposal is probed against the TLB2
+/// (dropped on a miss), translated, deduplicated against the DL1 and its
+/// MSHRs, and issued as a [`bosim_types::ReqClass::L1Prefetch`] read.
+pub trait L1Prefetcher: std::fmt::Debug {
+    /// Trains the prefetcher with a retired load/store, in program order.
+    fn on_retire(&mut self, pc: u64, vaddr: VirtAddr);
+
+    /// Issue check at DL1 access time (miss or prefetched hit): returns
+    /// the proposed virtual prefetch address, if any.
+    fn on_access(&mut self, pc: u64, vaddr: VirtAddr) -> Option<VirtAddr>;
+
+    /// Short name for reports ("stride", ...).
+    fn name(&self) -> &'static str;
+
+    /// Applies a runtime reconfiguration directive (see
+    /// [`Prefetcher::reconfigure`]). Default: unsupported.
+    fn reconfigure(&mut self, directive: &TuneDirective) -> bool {
+        let _ = directive;
+        false
+    }
+}
+
+/// The "no prefetch" configuration (Figure 5 baseline), valid at any
+/// line-address site.
 #[derive(Debug, Clone)]
 pub struct NullPrefetcher {
     page: PageSize,
@@ -115,8 +244,8 @@ impl NullPrefetcher {
     }
 }
 
-impl L2Prefetcher for NullPrefetcher {
-    fn on_access(&mut self, _access: L2Access, _out: &mut Vec<LineAddr>) {}
+impl Prefetcher for NullPrefetcher {
+    fn on_access(&mut self, _access: CacheAccess, _out: &mut Vec<LineAddr>) {}
 
     fn on_fill(&mut self, _line: LineAddr, _prefetched: bool) {}
 
@@ -145,7 +274,7 @@ mod tests {
         let mut p = NullPrefetcher::new(PageSize::K4);
         let mut out = Vec::new();
         p.on_access(
-            L2Access {
+            CacheAccess {
                 line: LineAddr(42),
                 outcome: AccessOutcome::Miss,
             },
@@ -170,6 +299,51 @@ mod tests {
         assert_eq!(
             TuneDirective::SwitchPrefetcher("none".into()).to_string(),
             "switch=none"
+        );
+    }
+
+    #[test]
+    fn site_directives_render_with_site_prefix() {
+        assert_eq!(
+            TuneDirective::SetDegree(2).at(PrefetchSite::L2).to_string(),
+            "l2:degree=2"
+        );
+        assert_eq!(
+            TuneDirective::SetEnabled(false)
+                .at(PrefetchSite::L3)
+                .to_string(),
+            "l3:prefetch=off"
+        );
+        // Bare directives default to the L2 site.
+        let d: SiteDirective = TuneDirective::SetDegree(1).into();
+        assert_eq!(d.site, PrefetchSite::L2);
+    }
+
+    #[test]
+    fn sites_parse_and_label() {
+        for site in PrefetchSite::ALL {
+            assert_eq!(PrefetchSite::parse(site.label()), Some(site));
+        }
+        assert_eq!(PrefetchSite::parse("L1D"), Some(PrefetchSite::L1D));
+        assert_eq!(PrefetchSite::parse("L2"), Some(PrefetchSite::L2));
+        assert_eq!(PrefetchSite::parse("dram"), None);
+        assert_eq!(PrefetchSite::L3.to_string(), "l3");
+    }
+
+    #[test]
+    fn l2_compat_aliases_still_name_the_generic_interface() {
+        // Old-style code using the aliases keeps compiling.
+        fn takes_l2(p: &mut dyn L2Prefetcher, a: L2Access) {
+            let mut out = Vec::new();
+            p.on_access(a, &mut out);
+        }
+        let mut p = NullPrefetcher::new(PageSize::K4);
+        takes_l2(
+            &mut p,
+            L2Access {
+                line: LineAddr(1),
+                outcome: AccessOutcome::Miss,
+            },
         );
     }
 }

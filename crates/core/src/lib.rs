@@ -16,8 +16,11 @@
 //! * [`BestOffsetPrefetcher`] with [`BoConfig`] (Table 2 defaults),
 //! * the [`RrTable`] of recently completed prefetch bases (§4.1, §4.4),
 //! * the 5-smooth [`OffsetList`] (§4.2),
-//! * the [`L2Prefetcher`] trait implemented by BO and by every baseline
-//!   prefetcher in `bosim-baselines`.
+//! * the level-agnostic [`Prefetcher`] trait (with the [`PrefetchSite`]
+//!   attach-point enum and the DL1-side [`L1Prefetcher`] trait)
+//!   implemented by BO and by every baseline prefetcher in
+//!   `bosim-baselines`; `L2Prefetcher`/`L2Access` remain as thin
+//!   compatibility aliases.
 //!
 //! # Examples
 //!
@@ -45,6 +48,9 @@ mod offsets;
 mod rr_table;
 
 pub use bo::{BestOffsetPrefetcher, BoConfig, BoConfigError, BoStats};
-pub use iface::{AccessOutcome, L2Access, L2Prefetcher, NullPrefetcher, TuneDirective};
+pub use iface::{
+    AccessOutcome, CacheAccess, L1Prefetcher, L2Access, L2Prefetcher, NullPrefetcher, PrefetchSite,
+    Prefetcher, SiteDirective, TuneDirective,
+};
 pub use offsets::OffsetList;
 pub use rr_table::RrTable;

@@ -5,8 +5,9 @@
 //! cycle minimum branch misprediction penalty with redirect at branch
 //! execution, TAGE/ITTAGE prediction, two-level TLBs, 32KB 8-way IL1/DL1
 //! (3-cycle DL1), a 42-entry store buffer draining in the background, and
-//! the PC-indexed DL1 stride prefetcher of §5.5 (trained at retirement,
-//! issuing at access time through the TLB2).
+//! a pluggable L1D prefetch site (any [`best_offset::L1Prefetcher`];
+//! the §5.5 PC-indexed stride prefetcher is the default occupant,
+//! trained at retirement and issuing at access time through the TLB2).
 //!
 //! Scheduling is event-driven inside a per-cycle `tick`: register
 //! dependences are tracked through a scoreboard with wakeup lists, so
@@ -16,7 +17,7 @@
 
 use crate::tage::{Ittage, Tage};
 use crate::tlb::{PageTranslator, TlbHierarchy};
-use bosim_baselines::StridePrefetcher;
+use best_offset::{L1Prefetcher, TuneDirective};
 use bosim_cache::policy::{InsertCtx, PolicyKind};
 use bosim_cache::{CacheArray, MshrFile};
 use bosim_trace::{MicroOp, TraceSource, UopKind, NUM_REGS};
@@ -55,8 +56,6 @@ pub struct CoreConfig {
     pub il1_size: u64,
     /// IL1 associativity.
     pub il1_ways: usize,
-    /// Enable the DL1 stride prefetcher (§5.5).
-    pub stride_prefetcher: bool,
 }
 
 impl Default for CoreConfig {
@@ -76,7 +75,6 @@ impl Default for CoreConfig {
             dl1_ways: 8,
             il1_size: 32 << 10,
             il1_ways: 8,
-            stride_prefetcher: true,
         }
     }
 }
@@ -119,9 +117,9 @@ pub struct CoreStats {
     pub dl1_misses: u64,
     /// IL1 misses.
     pub il1_misses: u64,
-    /// DL1 stride prefetch requests issued to the uncore.
+    /// L1D-site prefetch requests issued to the uncore.
     pub l1_prefetches: u64,
-    /// DL1 stride prefetch requests dropped on a TLB2 miss.
+    /// L1D-site prefetch requests dropped on a TLB2 miss.
     pub l1_prefetch_tlb_drops: u64,
 }
 
@@ -169,7 +167,8 @@ pub struct Core {
     il1: CacheArray,
     dl1: CacheArray,
     mshr: MshrFile,
-    stride: Option<StridePrefetcher>,
+    /// The pluggable L1D prefetch site (`None` = site empty, Figure 4).
+    l1_prefetcher: Option<Box<dyn L1Prefetcher>>,
 
     rob: VecDeque<RobEntry>,
     head_seq: u64,
@@ -192,15 +191,18 @@ pub struct Core {
 
 impl Core {
     /// Creates a core running `trace` with the given page size and
-    /// translation seed.
+    /// translation seed. `l1_prefetcher` occupies the L1D prefetch site
+    /// (`None` leaves the site empty, as in the Figure 4 ablation); the
+    /// TLB2-probe / MSHR-drop issue path of §5.5 applies to whatever
+    /// prefetcher is plugged in.
     pub fn new(
         id: CoreId,
         cfg: CoreConfig,
         trace: Box<dyn TraceSource>,
         page: PageSize,
         seed: u64,
+        l1_prefetcher: Option<Box<dyn L1Prefetcher>>,
     ) -> Self {
-        let stride = cfg.stride_prefetcher.then(StridePrefetcher::with_defaults);
         Core {
             id,
             trace,
@@ -211,7 +213,7 @@ impl Core {
             il1: CacheArray::new(cfg.il1_size, cfg.il1_ways, PolicyKind::Lru, 1, seed ^ 1),
             dl1: CacheArray::new(cfg.dl1_size, cfg.dl1_ways, PolicyKind::Lru, 1, seed ^ 2),
             mshr: MshrFile::new(cfg.mshrs),
-            stride,
+            l1_prefetcher,
             rob: VecDeque::with_capacity(cfg.rob_size),
             head_seq: 0,
             next_seq: 0,
@@ -248,6 +250,22 @@ impl Core {
     /// The virtual→physical translator (used by tests).
     pub fn translator(&self) -> &PageTranslator {
         &self.translator
+    }
+
+    /// The occupant of the L1D prefetch site, if any (introspection for
+    /// tests and examples).
+    pub fn l1_prefetcher(&self) -> Option<&dyn L1Prefetcher> {
+        self.l1_prefetcher.as_deref()
+    }
+
+    /// Applies a runtime reconfiguration directive to the L1D-site
+    /// prefetcher. Returns whether the directive was applied (`false`
+    /// when the site is empty or the occupant rejects it).
+    pub fn reconfigure_l1_prefetcher(&mut self, directive: &TuneDirective) -> bool {
+        match self.l1_prefetcher.as_mut() {
+            Some(p) => p.reconfigure(directive),
+            None => false,
+        }
     }
 
     /// Resets the retired-instruction and event counters (used at the end
@@ -385,15 +403,15 @@ impl Core {
                 let done = now + self.cfg.dl1_latency;
                 self.complete(seq, done, out);
                 if hit.was_prefetch {
-                    // Prefetched hit: the stride prefetcher triggers.
-                    self.try_stride_prefetch(pc, va, out, now);
+                    // Prefetched hit: the L1 prefetcher triggers.
+                    self.try_l1_prefetch(pc, va, out, now);
                 }
             }
             None => {
                 // Merge with a pending request if possible.
                 if let Some(e) = self.mshr.find_mut(line) {
                     e.waiters.push(seq);
-                    self.try_stride_prefetch(pc, va, out, now);
+                    self.try_l1_prefetch(pc, va, out, now);
                     return;
                 }
                 if !self.mshr.try_alloc(line, now, false) {
@@ -412,24 +430,25 @@ impl Core {
                     class: ReqClass::Demand,
                     ifetch: false,
                 });
-                self.try_stride_prefetch(pc, va, out, now);
+                self.try_l1_prefetch(pc, va, out, now);
             }
         }
     }
 
-    /// §5.5 DL1 stride prefetch issue path (access-time trigger, 16-entry
-    /// filter inside the prefetcher, TLB2 probe, MSHR allocation).
-    fn try_stride_prefetch(
+    /// The §5.5 L1D prefetch issue path (access-time trigger, TLB2
+    /// probe, MSHR allocation), applied to whatever prefetcher occupies
+    /// the site.
+    fn try_l1_prefetch(
         &mut self,
         pc: u64,
         vaddr: VirtAddr,
         out: &mut Vec<UncoreRequest>,
         now: Cycle,
     ) {
-        let Some(stride) = self.stride.as_mut() else {
+        let Some(l1) = self.l1_prefetcher.as_mut() else {
             return;
         };
-        let Some(target) = stride.on_access(pc, vaddr) else {
+        let Some(target) = l1.on_access(pc, vaddr) else {
             return;
         };
         let page = self.translator.page_size();
@@ -531,7 +550,7 @@ impl Core {
     }
 
     /// Retires up to `retire_width` completed µops in program order,
-    /// training the stride prefetcher and committing stores.
+    /// training the L1 prefetcher and committing stores.
     fn retire(&mut self, now: Cycle) {
         for _ in 0..self.cfg.retire_width {
             let Some(head) = self.rob.front() else {
@@ -548,8 +567,8 @@ impl Core {
             self.head_seq += 1;
             self.stats.retired += 1;
             if e.has_mem {
-                if let Some(s) = self.stride.as_mut() {
-                    s.on_retire(e.pc, VirtAddr(e.vaddr));
+                if let Some(l1) = self.l1_prefetcher.as_mut() {
+                    l1.on_retire(e.pc, VirtAddr(e.vaddr));
                 }
                 if e.kind == UopKind::Load {
                     self.stats.loads += 1;
@@ -856,6 +875,10 @@ mod tests {
         }
     }
 
+    fn stride_l1() -> Option<Box<dyn L1Prefetcher>> {
+        Some(Box::new(bosim_baselines::StridePrefetcher::with_defaults()))
+    }
+
     fn core_with(uops: Vec<MicroOp>) -> Core {
         let trace = ReplaySource::new("test", uops);
         Core::new(
@@ -864,6 +887,7 @@ mod tests {
             Box::new(trace),
             PageSize::M4,
             42,
+            stride_l1(),
         )
     }
 
@@ -957,6 +981,7 @@ mod tests {
                 Box::new(spec.build()),
                 PageSize::M4,
                 42,
+                stride_l1(),
             );
             let mut unc = FixedUncore::new(30);
             unc.run(&mut core, 30_000);
@@ -984,6 +1009,7 @@ mod tests {
             Box::new(spec.build()),
             PageSize::M4,
             7,
+            stride_l1(),
         );
         let mut unc = FixedUncore::new(60);
         // Run long enough to fill the DL1 with dirty lines and evict.
@@ -1022,6 +1048,7 @@ mod tests {
             Box::new(spec.build()),
             PageSize::M4,
             11,
+            stride_l1(),
         );
         let mut unc = FixedUncore::new(100);
         unc.run(&mut core, 100_000);
@@ -1041,6 +1068,7 @@ mod tests {
                 Box::new(spec.build()),
                 PageSize::K4,
                 3,
+                stride_l1(),
             );
             let mut unc = FixedUncore::new(80);
             unc.run(&mut core, 20_000);

@@ -18,6 +18,7 @@
 //! ```
 
 use crate::spec::{prefetchers, PrefetcherHandle};
+use best_offset::PrefetchSite;
 use bosim_adapt::AdaptConfig;
 use bosim_cache::policy::PolicyKind;
 use bosim_cpu::CoreConfig;
@@ -33,10 +34,17 @@ pub const MAX_CORES: usize = 256;
 /// One full-system simulation configuration.
 ///
 /// `Default` is the paper's baseline (Table 1): 4KB pages, one active
-/// core, L2 next-line prefetching, 5P L3 replacement, DL1 stride
-/// prefetcher on. Field access is public for introspection; prefer
-/// [`SimConfig::builder`] for constructing variants, since it validates
-/// the parameters the hardware model assumes.
+/// core, the stride prefetcher at the L1D site, L2 next-line
+/// prefetching, no L3 prefetcher, 5P L3 replacement. Field access is
+/// public for introspection; prefer [`SimConfig::builder`] for
+/// constructing variants, since it validates the parameters the
+/// hardware model assumes.
+///
+/// Each level of the hierarchy is an independent prefetch *site*
+/// (see [`PrefetchSite`]): `l1_prefetcher` (per-core, virtual-address,
+/// `None` in the Figure 4 ablation), `l2_prefetcher` (per-core, the
+/// paper's subject) and `l3_prefetcher` (one engine on the shared L3,
+/// `None` on the paper's machine).
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Memory page size (4KB or 4MB).
@@ -44,12 +52,16 @@ pub struct SimConfig {
     /// Active cores: core 0 runs the benchmark, the rest run the §5.1
     /// cache-thrashing micro-benchmark.
     pub active_cores: usize,
+    /// The L1D-site prefetcher of every core (default: the §5.5 stride
+    /// prefetcher; `None` leaves the site empty, as Figure 4 does).
+    pub l1_prefetcher: Option<PrefetcherHandle>,
     /// The L2 prefetcher under evaluation.
     pub l2_prefetcher: PrefetcherHandle,
+    /// The shared L3 site's prefetcher (`None` = no L3 prefetching, the
+    /// paper's machine).
+    pub l3_prefetcher: Option<PrefetcherHandle>,
     /// L3 replacement policy (baseline: 5P; Figure 3 uses LRU/DRRIP).
     pub l3_policy: PolicyKind,
-    /// DL1 stride prefetcher enabled (Figure 4 disables it).
-    pub dl1_stride: bool,
     /// Core parameters (Table 1).
     pub core: CoreConfig,
     /// L2 capacity in bytes (512KB) and associativity (8).
@@ -102,9 +114,10 @@ impl Default for SimConfig {
         SimConfig {
             page: PageSize::K4,
             active_cores: 1,
+            l1_prefetcher: Some(prefetchers::stride_default()),
             l2_prefetcher: prefetchers::next_line(),
+            l3_prefetcher: None,
             l3_policy: PolicyKind::FiveP,
-            dl1_stride: true,
             core: CoreConfig::default(),
             l2_size: 512 << 10,
             l2_ways: 8,
@@ -147,18 +160,68 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy with `p` (or nothing) at `site`. The L2 site
+    /// cannot be emptied — pass [`prefetchers::none`] there instead.
+    pub fn with_site_prefetcher(mut self, site: PrefetchSite, p: Option<PrefetcherHandle>) -> Self {
+        match site {
+            PrefetchSite::L1D => self.l1_prefetcher = p,
+            PrefetchSite::L2 => self.l2_prefetcher = p.unwrap_or_else(prefetchers::none),
+            PrefetchSite::L3 => self.l3_prefetcher = p,
+        }
+        self
+    }
+
+    /// The prefetcher occupying `site`, if any.
+    pub fn site_prefetcher(&self, site: PrefetchSite) -> Option<&PrefetcherHandle> {
+        match site {
+            PrefetchSite::L1D => self.l1_prefetcher.as_ref(),
+            PrefetchSite::L2 => Some(&self.l2_prefetcher),
+            PrefetchSite::L3 => self.l3_prefetcher.as_ref(),
+        }
+    }
+
+    /// True when the configuration departs from the classic single-level
+    /// shape (stride-or-empty L1, no L3 prefetcher) and the label should
+    /// spell out every site.
+    fn multi_level(&self) -> bool {
+        self.l3_prefetcher.is_some()
+            || self
+                .l1_prefetcher
+                .as_ref()
+                .is_some_and(|h| h.name() != "stride")
+    }
+
     /// Short configuration label, e.g. `"4KB/2-core/BO"`; adaptive
     /// configurations append the policy (`"4KB/2-core/BO+bw-throttle"`).
+    ///
+    /// Multi-level configurations spell out every site with
+    /// site-qualified names, e.g.
+    /// `"4KB/1-core/l1:stride+l2:BO+l3:next-line"`. Classic single-level
+    /// shapes (stride or nothing at L1, no L3 prefetcher) keep the
+    /// historical L2-only label, so pre-refactor report rows are
+    /// unchanged.
     pub fn label(&self) -> String {
         let policy = match &self.adapt {
             Some(a) => format!("+{}", a.policy.name()),
             None => String::new(),
         };
+        let prefetchers = if self.multi_level() {
+            let site =
+                |h: Option<&PrefetcherHandle>| h.map(|h| h.name()).unwrap_or_else(|| "none".into());
+            format!(
+                "l1:{}+l2:{}+l3:{}",
+                site(self.l1_prefetcher.as_ref()),
+                self.l2_prefetcher.name(),
+                site(self.l3_prefetcher.as_ref()),
+            )
+        } else {
+            self.l2_prefetcher.name()
+        };
         format!(
             "{}/{}-core/{}{}",
             self.page.label(),
             self.active_cores,
-            self.l2_prefetcher.name(),
+            prefetchers,
             policy,
         )
     }
@@ -204,28 +267,56 @@ impl SimConfig {
         if self.measure_instructions == 0 {
             return Err(ConfigError::ZeroInstructions);
         }
-        // Prefetcher-spec validation: invalid algorithm parameters (a BO
-        // degree of 3, an empty offset list) are reported here instead
-        // of aborting mid-sweep when the prefetcher is built.
-        if let Err(reason) = self.l2_prefetcher.spec().validate(self) {
-            return Err(ConfigError::InvalidPrefetcher {
-                name: self.l2_prefetcher.name(),
-                reason,
-            });
+        // Per-site prefetcher-spec validation: a spec at a site it does
+        // not attach to (stride at L2, BO at L1D) and invalid algorithm
+        // parameters (a BO degree of 3, an empty offset list) are
+        // reported here instead of aborting mid-sweep when the
+        // prefetcher is built.
+        for site in PrefetchSite::ALL {
+            let Some(handle) = self.site_prefetcher(site) else {
+                continue;
+            };
+            if !handle.supports_site(site) {
+                return Err(ConfigError::InvalidPrefetcher {
+                    name: handle.name(),
+                    reason: crate::spec::site_mismatch_reason(site, handle.supported_sites()),
+                });
+            }
+            if let Err(reason) = handle.spec().validate(self) {
+                return Err(ConfigError::InvalidPrefetcher {
+                    name: handle.name(),
+                    reason,
+                });
+            }
         }
         if let Some(adapt) = &self.adapt {
             if let Err(reason) = adapt.validate() {
                 return Err(ConfigError::InvalidAdapt { reason });
             }
             // Every prefetcher the policy may switch to must resolve in
-            // the registry *now* — a sweep must not die at the first
-            // epoch boundary of some arm.
+            // the registry *now* and attach to the L2 site (switch
+            // directives target the per-core L2 engines) — a sweep must
+            // neither die at the first epoch boundary of some arm nor
+            // silently keep the old prefetcher because the switch is
+            // rejected at runtime.
             for name in adapt.policy.spec().prefetcher_names() {
-                if let Err(e) = crate::registry::registry().resolve(&name) {
-                    return Err(ConfigError::UnknownPrefetcher {
-                        name,
-                        reason: e.to_string(),
-                    });
+                match crate::registry::registry().resolve(&name) {
+                    Err(e) => {
+                        return Err(ConfigError::UnknownPrefetcher {
+                            name,
+                            reason: e.to_string(),
+                        });
+                    }
+                    Ok(handle) if !handle.supports_site(PrefetchSite::L2) => {
+                        return Err(ConfigError::UnknownPrefetcher {
+                            name,
+                            reason: crate::spec::site_mismatch_reason(
+                                PrefetchSite::L2,
+                                handle.supported_sites(),
+                            ),
+                        });
+                    }
+                    Ok(_) => {}
                 }
             }
         }
@@ -277,8 +368,9 @@ pub enum ConfigError {
         /// The violated constraint.
         reason: String,
     },
-    /// An adaptive policy references a prefetcher name the registry
-    /// cannot resolve.
+    /// A prefetcher name (an adaptive policy's candidate, or a
+    /// site-qualified name given to [`SimConfigBuilder::site`]) the
+    /// registry cannot resolve.
     UnknownPrefetcher {
         /// The unresolvable name.
         name: String,
@@ -313,10 +405,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "adaptive-control configuration invalid: {reason}")
             }
             ConfigError::UnknownPrefetcher { name, reason } => {
-                write!(
-                    f,
-                    "adaptive policy references unresolvable prefetcher {name:?}: {reason}"
-                )
+                write!(f, "unresolvable prefetcher {name:?}: {reason}")
             }
         }
     }
@@ -352,6 +441,48 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the L1D-site prefetcher (default: the §5.5 stride
+    /// prefetcher). See also [`no_l1_prefetcher`](Self::no_l1_prefetcher)
+    /// for the Figure 4 ablation.
+    pub fn l1_prefetcher(mut self, p: impl Into<PrefetcherHandle>) -> Self {
+        self.cfg.l1_prefetcher = Some(p.into());
+        self
+    }
+
+    /// Empties the L1D prefetch site (the Figure 4 ablation).
+    pub fn no_l1_prefetcher(mut self) -> Self {
+        self.cfg.l1_prefetcher = None;
+        self
+    }
+
+    /// Sets the shared L3 site's prefetcher (default: none).
+    pub fn l3_prefetcher(mut self, p: impl Into<PrefetcherHandle>) -> Self {
+        self.cfg.l3_prefetcher = Some(p.into());
+        self
+    }
+
+    /// Resolves a site-qualified registry name (`"l1:stride"`,
+    /// `"l2:bo"`, `"l3:next-line"`; a bare name means the L2 site) and
+    /// installs the prefetcher at that site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownPrefetcher`] carrying the
+    /// registry's diagnosis (unknown name, unknown site, or a site/spec
+    /// mismatch such as `l3:stride`).
+    pub fn site(mut self, name: &str) -> Result<Self, ConfigError> {
+        match crate::registry::registry().resolve_site(name) {
+            Ok((site, handle)) => {
+                self.cfg = self.cfg.with_site_prefetcher(site, Some(handle));
+                Ok(self)
+            }
+            Err(e) => Err(ConfigError::UnknownPrefetcher {
+                name: name.to_string(),
+                reason: e.to_string(),
+            }),
+        }
+    }
+
     /// L3 replacement policy.
     pub fn l3_policy(mut self, policy: PolicyKind) -> Self {
         self.cfg.l3_policy = policy;
@@ -359,8 +490,16 @@ impl SimConfigBuilder {
     }
 
     /// Enables or disables the DL1 stride prefetcher.
+    ///
+    /// Deprecated shim: the two pre-refactor toggles
+    /// (`SimConfig.dl1_stride` and `CoreConfig.stride_prefetcher`)
+    /// collapsed into the L1D prefetch site. `dl1_stride(true)` installs
+    /// the default [`prefetchers::stride`] spec,
+    /// `dl1_stride(false)` empties the site — prefer
+    /// [`l1_prefetcher`](Self::l1_prefetcher) /
+    /// [`no_l1_prefetcher`](Self::no_l1_prefetcher) in new code.
     pub fn dl1_stride(mut self, enabled: bool) -> Self {
-        self.cfg.dl1_stride = enabled;
+        self.cfg.l1_prefetcher = enabled.then(prefetchers::stride_default);
         self
     }
 
@@ -502,7 +641,11 @@ mod tests {
         assert_eq!(c.prefetch_queue, 8);
         assert_eq!(c.l2_prefetcher.name(), "next-line");
         assert_eq!(c.l3_policy, PolicyKind::FiveP);
-        assert!(c.dl1_stride);
+        assert_eq!(
+            c.l1_prefetcher.as_ref().map(|h| h.name()).as_deref(),
+            Some("stride")
+        );
+        assert!(c.l3_prefetcher.is_none());
         assert!(c.validate().is_ok());
     }
 
@@ -510,6 +653,134 @@ mod tests {
     fn labels() {
         let c = SimConfig::baseline(PageSize::M4, 2).with_prefetcher(prefetchers::fixed(5));
         assert_eq!(c.label(), "4MB/2-core/offset-5");
+    }
+
+    #[test]
+    fn single_level_labels_do_not_mention_sites() {
+        // The classic shapes — default stride L1, and the Figure 4
+        // ablation with the site empty — keep their historical labels.
+        let c = SimConfig::default().with_prefetcher(prefetchers::bo_default());
+        assert_eq!(c.label(), "4KB/1-core/BO");
+        let mut ablated = c.clone();
+        ablated.l1_prefetcher = None;
+        assert_eq!(ablated.label(), "4KB/1-core/BO");
+    }
+
+    #[test]
+    fn multi_level_labels_spell_out_every_site() {
+        let c = SimConfig::builder()
+            .prefetcher(prefetchers::bo_default())
+            .l3_prefetcher(prefetchers::next_line())
+            .build()
+            .expect("valid multi-level config");
+        assert_eq!(c.label(), "4KB/1-core/l1:stride+l2:BO+l3:next-line");
+        let no_l1 = SimConfig::builder()
+            .no_l1_prefetcher()
+            .l3_prefetcher(prefetchers::fixed(4))
+            .build()
+            .expect("valid");
+        assert_eq!(no_l1.label(), "4KB/1-core/l1:none+l2:next-line+l3:offset-4");
+    }
+
+    #[test]
+    fn builder_site_names_resolve_through_the_registry() {
+        let c = SimConfig::builder()
+            .site("l1:stride")
+            .expect("l1 site")
+            .site("l2:bo")
+            .expect("l2 site")
+            .site("l3:next-line")
+            .expect("l3 site")
+            .build()
+            .expect("valid");
+        assert_eq!(c.label(), "4KB/1-core/l1:stride+l2:BO+l3:next-line");
+        // Bare names mean the L2 site.
+        let c = SimConfig::builder().site("sbp").expect("bare name").cfg;
+        assert_eq!(c.l2_prefetcher.name(), "SBP");
+        // Site errors carry the registry's diagnosis.
+        let err = SimConfig::builder().site("l3:stride").unwrap_err();
+        match &err {
+            ConfigError::UnknownPrefetcher { name, reason } => {
+                assert_eq!(name, "l3:stride");
+                assert!(reason.contains("does not attach to site l3"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(SimConfig::builder().site("l9:bo").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_site_spec_mismatches() {
+        // Stride cannot occupy the L2 site...
+        let err = SimConfig::builder()
+            .prefetcher(prefetchers::stride_default())
+            .build()
+            .unwrap_err();
+        match &err {
+            ConfigError::InvalidPrefetcher { name, reason } => {
+                assert_eq!(name, "stride");
+                assert!(reason.contains("does not attach to site l2"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...nor the L3 site; BO cannot occupy the L1D site.
+        assert!(SimConfig::builder()
+            .l3_prefetcher(prefetchers::stride_default())
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .l1_prefetcher(prefetchers::bo_default())
+            .build()
+            .is_err());
+        // Spec-parameter validation applies per site: a bad BO config at
+        // the L3 site is caught like one at the L2 site.
+        let bad = best_offset::BoConfig {
+            degree: 3,
+            ..Default::default()
+        };
+        assert!(matches!(
+            SimConfig::builder()
+                .l3_prefetcher(prefetchers::bo(bad))
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidPrefetcher { .. }
+        ));
+    }
+
+    #[test]
+    fn adaptive_candidates_must_attach_to_the_l2_site() {
+        use bosim_adapt::{policies, AdaptConfig};
+        // "stride" resolves in the registry but is L1D-only: a switch
+        // to it would be silently rejected at every epoch boundary, so
+        // validation must fail loudly up front.
+        let err = SimConfig::builder()
+            .adapt(AdaptConfig::new(policies::tournament(["bo", "stride"])))
+            .build()
+            .unwrap_err();
+        match &err {
+            ConfigError::UnknownPrefetcher { name, reason } => {
+                assert_eq!(name, "stride");
+                assert!(reason.contains("does not attach to site l2"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dl1_stride_shim_drives_the_l1_site() {
+        let on = SimConfig::builder()
+            .dl1_stride(true)
+            .build()
+            .expect("valid");
+        assert_eq!(
+            on.l1_prefetcher.as_ref().map(|h| h.name()).as_deref(),
+            Some("stride")
+        );
+        let off = SimConfig::builder()
+            .dl1_stride(false)
+            .build()
+            .expect("valid");
+        assert!(off.l1_prefetcher.is_none());
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //! and fairness counters (§5.3).
 //!
 //! Machine configurations are built with the validating
-//! [`SimConfig::builder`]; the L2 prefetcher slot is *open*: anything
-//! implementing [`PrefetcherSpec`] plugs in, and the built-in specs are
-//! available through the [`prefetchers`] constructors or by name from the
+//! [`SimConfig::builder`]; every prefetch *site* of the hierarchy (L1D /
+//! L2 / L3, see [`PrefetchSite`]) is *open*: anything implementing
+//! [`PrefetcherSpec`] plugs in, and the built-in specs are available
+//! through the [`prefetchers`] constructors or by (optionally
+//! site-qualified, e.g. `"l1:stride"`, `"l3:next-line"`) name from the
 //! [`registry`].
 //!
 //! # Examples
@@ -52,10 +54,12 @@ pub use registry::{
 pub use runner::{default_threads, run_job, run_jobs, speedups, Job, RunnerError};
 pub use spec::{
     prefetchers, AdaptiveSpec, AmpmSpec, BoSpec, FixedOffsetSpec, NextLineSpec, NoPrefetchSpec,
-    PrefetcherHandle, PrefetcherSpec, SbpSpec,
+    PrefetcherHandle, PrefetcherSpec, SbpSpec, StrideSpec, LINE_ADDRESS_SITES,
 };
 pub use system::{SimResult, System};
 pub use uncore::{PrefetchTelemetry, Uncore, UncoreStats};
+
+pub use best_offset::{PrefetchSite, SiteDirective, TuneDirective};
 
 /// The adaptive-control crate, re-exported for policy construction
 /// (`bosim::adapt::policies::tournament([..])`).

@@ -2,35 +2,43 @@
 //!
 //! The registry maps prefetcher names (as used in reports and on the
 //! `BOSIM_PREFETCHER`-style command lines of the harness binaries) to
-//! [`PrefetcherHandle`]s. The six built-in prefetchers are pre-registered;
+//! [`PrefetcherHandle`]s. The built-in prefetchers are pre-registered;
 //! third-party crates add their own with [`PrefetcherRegistry::register`]
 //! — no change to `bosim-sim` required:
 //!
 //! ```
 //! use bosim::{registry, PrefetcherHandle, PrefetcherSpec, SimConfig};
-//! use best_offset::{L2Prefetcher, NullPrefetcher};
+//! use best_offset::{NullPrefetcher, Prefetcher};
 //!
 //! #[derive(Debug)]
 //! struct MySpec;
 //! impl PrefetcherSpec for MySpec {
 //!     fn name(&self) -> String { "mine".into() }
-//!     fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+//!     fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
 //!         Box::new(NullPrefetcher::new(cfg.page))
 //!     }
 //! }
 //!
 //! registry().register("mine", PrefetcherHandle::new(MySpec));
 //! assert!(registry().lookup("mine").is_some());
+//! // Site-qualified: "mine" is a line-address spec, so it attaches to
+//! // the L2 or L3 site but not the L1D one.
+//! assert!(registry().resolve_site("l3:mine").is_ok());
+//! assert!(registry().resolve_site("l1:mine").is_err());
 //! ```
 //!
-//! Parameterised families (like the fixed-offset prefetchers) register a
-//! *resolver* instead of a single name: a function that parses names such
-//! as `"offset-12"` into a handle. A resolver distinguishes "not my
-//! family" from "my family, but malformed" ([`ResolverOutcome`]), so
+//! Names may carry a *site* prefix (`l1:stride`, `l2:bo`,
+//! `l3:next-line`) resolved by [`PrefetcherRegistry::resolve_site`]; a
+//! bare name means the L2 site. Parameterised families (like the
+//! fixed-offset prefetchers) register a *resolver* instead of a single
+//! name: a function that parses names such as `"offset-12"` into a
+//! handle. A resolver distinguishes "not my family" from "my family,
+//! but malformed" ([`ResolverOutcome`]), so
 //! [`PrefetcherRegistry::resolve`] can report *why* `"offset-0"` or
 //! `"offset-banana"` is rejected instead of a bare miss.
 
 use crate::spec::{prefetchers, AdaptiveSpec, PrefetcherHandle};
+use best_offset::PrefetchSite;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -68,6 +76,24 @@ pub enum ResolveError {
         /// What is wrong with the parameters.
         reason: String,
     },
+    /// A site-qualified name used a site label the hierarchy does not
+    /// have (e.g. `"l9:bo"`).
+    UnknownSite {
+        /// The full site-qualified name.
+        name: String,
+        /// The unrecognised site label.
+        site: String,
+    },
+    /// A site-qualified name resolved, but the spec does not attach to
+    /// the requested site (e.g. `"l3:stride"` — stride is L1D-only).
+    SiteMismatch {
+        /// The full site-qualified name.
+        name: String,
+        /// The requested site.
+        site: PrefetchSite,
+        /// The sites the spec does support.
+        supported: Vec<PrefetchSite>,
+    },
 }
 
 impl fmt::Display for ResolveError {
@@ -84,6 +110,23 @@ impl fmt::Display for ResolveError {
                 family,
                 reason,
             } => write!(f, "malformed prefetcher spec {name:?} ({family}): {reason}"),
+            ResolveError::UnknownSite { name, site } => {
+                write!(
+                    f,
+                    "unknown prefetch site {site:?} in {name:?} (valid sites: l1, l2, l3)"
+                )
+            }
+            ResolveError::SiteMismatch {
+                name,
+                site,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "prefetcher {name:?} {}",
+                    crate::spec::site_mismatch_reason(*site, supported)
+                )
+            }
         }
     }
 }
@@ -117,6 +160,7 @@ impl PrefetcherRegistry {
         reg.register("bo", prefetchers::bo_default());
         reg.register("sbp", prefetchers::sbp_default());
         reg.register("ampm", prefetchers::ampm_default());
+        reg.register("stride", prefetchers::stride_default());
         reg.register_resolver(
             "offset-<D>",
             Arc::new(|name| {
@@ -196,6 +240,48 @@ impl PrefetcherRegistry {
             }
         }
         Err(ResolveError::Unknown { name: key })
+    }
+
+    /// Resolves a *site-qualified* prefetcher name: `"l1:stride"`,
+    /// `"l2:bo"`, `"l3:next-line"`. A bare name (no `site:` prefix)
+    /// defaults to the L2 site — the paper's subject and what every
+    /// pre-existing name meant. The base name goes through
+    /// [`resolve`](Self::resolve) (exact names, then resolver families),
+    /// and the resolved spec must attach to the requested site.
+    ///
+    /// # Errors
+    ///
+    /// [`ResolveError::UnknownSite`] for a site label outside l1/l2/l3,
+    /// [`ResolveError::SiteMismatch`] when the spec does not support the
+    /// site (e.g. `l3:stride` — stride is L1D-only, or `l3:adaptive-bo`
+    /// — the adaptive wrapper is L2-only), plus everything
+    /// [`resolve`](Self::resolve) reports about the base name.
+    pub fn resolve_site(
+        &self,
+        name: &str,
+    ) -> Result<(PrefetchSite, PrefetcherHandle), ResolveError> {
+        let full = name.trim();
+        let (site, base) = match full.split_once(':') {
+            Some((site_label, base)) => match PrefetchSite::parse(site_label.trim()) {
+                Some(site) => (site, base.trim()),
+                None => {
+                    return Err(ResolveError::UnknownSite {
+                        name: full.to_ascii_lowercase(),
+                        site: site_label.trim().to_ascii_lowercase(),
+                    })
+                }
+            },
+            None => (PrefetchSite::L2, full),
+        };
+        let handle = self.resolve(base)?;
+        if !handle.supports_site(site) {
+            return Err(ResolveError::SiteMismatch {
+                name: full.to_ascii_lowercase(),
+                site,
+                supported: handle.supported_sites().to_vec(),
+            });
+        }
+        Ok((site, handle))
     }
 
     /// All registered names and resolver patterns, registration order.
@@ -341,6 +427,101 @@ mod tests {
         assert_eq!(h.name(), "adaptive-BO");
         let err = registry().resolve("adaptive-nope").unwrap_err();
         assert!(err.to_string().contains("base name"), "{err}");
+    }
+
+    #[test]
+    fn site_qualified_names_resolve_to_site_and_handle() {
+        let reg = PrefetcherRegistry::with_builtins();
+        for (name, site, label) in [
+            ("l1:stride", PrefetchSite::L1D, "stride"),
+            ("l2:bo", PrefetchSite::L2, "BO"),
+            ("L2:BO", PrefetchSite::L2, "BO"),
+            ("l3:next-line", PrefetchSite::L3, "next-line"),
+            ("l3:offset-12", PrefetchSite::L3, "offset-12"),
+            // Bare names default to the L2 site.
+            ("bo", PrefetchSite::L2, "BO"),
+        ] {
+            let (s, h) = reg.resolve_site(name).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(s, site, "{name}");
+            assert_eq!(h.name(), label, "{name}");
+        }
+    }
+
+    #[test]
+    fn site_names_tolerate_whitespace() {
+        let reg = PrefetcherRegistry::with_builtins();
+        let (s, h) = reg.resolve_site(" l3 : bo ").expect("trimmed per segment");
+        assert_eq!(s, PrefetchSite::L3);
+        assert_eq!(h.name(), "BO");
+    }
+
+    #[test]
+    fn unknown_sites_are_described() {
+        let reg = PrefetcherRegistry::with_builtins();
+        let err = reg.resolve_site("l9:bo").unwrap_err();
+        assert_eq!(
+            err,
+            ResolveError::UnknownSite {
+                name: "l9:bo".into(),
+                site: "l9".into()
+            }
+        );
+        assert!(err.to_string().contains("valid sites: l1, l2, l3"), "{err}");
+    }
+
+    #[test]
+    fn site_spec_mismatches_are_described() {
+        let reg = PrefetcherRegistry::with_builtins();
+        // Stride is L1D-only: the L2/L3 sites reject it.
+        for name in ["l3:stride", "l2:stride", "stride"] {
+            let err = reg.resolve_site(name).unwrap_err();
+            match &err {
+                ResolveError::SiteMismatch {
+                    site, supported, ..
+                } => {
+                    assert_ne!(*site, PrefetchSite::L1D, "{name}");
+                    assert_eq!(supported, &[PrefetchSite::L1D], "{name}");
+                }
+                other => panic!("{name}: expected SiteMismatch, got {other:?}"),
+            }
+            assert!(err.to_string().contains("supports: l1"), "{err}");
+        }
+        // Line-address prefetchers reject the L1D site.
+        let err = reg.resolve_site("l1:bo").unwrap_err();
+        assert!(
+            matches!(&err, ResolveError::SiteMismatch { site, .. } if *site == PrefetchSite::L1D),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("supports: l2, l3"), "{err}");
+    }
+
+    #[test]
+    fn site_resolution_reports_base_name_errors() {
+        let reg = PrefetcherRegistry::with_builtins();
+        assert!(matches!(
+            reg.resolve_site("l2:no-such").unwrap_err(),
+            ResolveError::Unknown { .. }
+        ));
+        assert!(matches!(
+            reg.resolve_site("l3:offset-0").unwrap_err(),
+            ResolveError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn adaptive_wrapper_is_l2_only_at_site_resolution() {
+        // `l3:` wrapping an L2-only spec is the documented mismatch case.
+        let err = registry().resolve_site("l3:adaptive-bo").unwrap_err();
+        match err {
+            ResolveError::SiteMismatch {
+                site, supported, ..
+            } => {
+                assert_eq!(site, PrefetchSite::L3);
+                assert_eq!(supported, vec![PrefetchSite::L2]);
+            }
+            other => panic!("expected SiteMismatch, got {other:?}"),
+        }
+        assert!(registry().resolve_site("l2:adaptive-bo").is_ok());
     }
 
     #[test]

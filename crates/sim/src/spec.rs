@@ -1,40 +1,79 @@
 //! The open prefetcher-construction interface.
 //!
 //! [`PrefetcherSpec`] replaces the closed `L2PrefetcherKind` enum of
-//! earlier revisions: a spec is a small, cloneable *description* of an L2
+//! earlier revisions: a spec is a small, cloneable *description* of a
 //! prefetcher (its algorithm and parameters) that knows how to build the
-//! live [`L2Prefetcher`] state machine for a concrete [`SimConfig`].
+//! live [`Prefetcher`] state machine for a concrete [`SimConfig`].
 //! Because the trait is public and object-safe, new prefetchers plug into
 //! the simulator from any crate — nothing in `bosim-sim` needs editing
 //! (see [`crate::registry`] for by-name discovery).
 //!
-//! The six prefetchers evaluated in the paper are provided as built-in
-//! specs via the [`prefetchers`] constructor functions.
+//! Specs are *site-aware*: [`supported_sites`](PrefetcherSpec::supported_sites)
+//! names the [`PrefetchSite`]s a spec can attach to. Line-address
+//! prefetchers (BO, fixed-offset, SBP, AMPM) are site-neutral between L2
+//! and L3; the PC-indexed [`StrideSpec`] is L1D-only and builds through
+//! [`build_l1`](PrefetcherSpec::build_l1) instead of
+//! [`build`](PrefetcherSpec::build). Configuration validation rejects a
+//! spec placed at a site it does not support.
+//!
+//! The prefetchers evaluated in the paper are provided as built-in specs
+//! via the [`prefetchers`] constructor functions.
 
 use crate::config::SimConfig;
-use best_offset::{BestOffsetPrefetcher, BoConfig, L2Prefetcher, NullPrefetcher};
+use best_offset::{
+    BestOffsetPrefetcher, BoConfig, L1Prefetcher, NullPrefetcher, PrefetchSite, Prefetcher,
+};
 use bosim_baselines::{
-    AmpmConfig, AmpmPrefetcher, FixedOffsetPrefetcher, SandboxPrefetcher, SbpConfig,
+    AmpmConfig, AmpmPrefetcher, FixedOffsetPrefetcher, SandboxPrefetcher, SbpConfig, StrideConfig,
+    StridePrefetcher,
 };
 use std::fmt;
 use std::sync::Arc;
 
-/// A description of an L2 prefetcher that can build the live prefetcher
-/// for a simulation run.
+/// The sites a plain line-address prefetcher can attach to (the default
+/// of [`PrefetcherSpec::supported_sites`]).
+pub const LINE_ADDRESS_SITES: &[PrefetchSite] = &[PrefetchSite::L2, PrefetchSite::L3];
+
+/// The one source of the "does not attach to site ..." diagnostic,
+/// shared by registry resolution and configuration validation.
+pub(crate) fn site_mismatch_reason(site: PrefetchSite, supported: &[PrefetchSite]) -> String {
+    let supported: Vec<&str> = supported.iter().map(|s| s.label()).collect();
+    format!(
+        "does not attach to site {site} (supports: {})",
+        supported.join(", ")
+    )
+}
+
+/// A description of a prefetcher that can build the live prefetcher for
+/// a simulation run.
 ///
 /// Implementations should be cheap value types holding algorithm
-/// parameters; [`build`](Self::build) is called once per simulated core.
-/// The `Debug` representation must include every parameter that affects
-/// behaviour — the experiment harness uses it to deduplicate identical
-/// simulation jobs.
+/// parameters; [`build`](Self::build) is called once per simulated core
+/// (or once for the shared L3 site). The `Debug` representation must
+/// include every parameter that affects behaviour — the experiment
+/// harness uses it to deduplicate identical simulation jobs.
 pub trait PrefetcherSpec: fmt::Debug + Send + Sync {
     /// Label used in configuration labels, reports and registry lookups
-    /// (`"BO"`, `"next-line"`, `"offset-5"`, ...).
+    /// (`"BO"`, `"next-line"`, `"offset-5"`, `"stride"`, ...).
     fn name(&self) -> String;
 
-    /// Builds the prefetcher state machine for one core of `cfg`'s
-    /// machine.
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher>;
+    /// Builds the line-address prefetcher state machine (the L2/L3
+    /// sites). For an L1D-only spec this is never reached through a
+    /// validated configuration; such specs return a null prefetcher.
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher>;
+
+    /// The sites this spec can attach to. Defaults to the line-address
+    /// sites (L2 and L3); L1D-only specs override this.
+    fn supported_sites(&self) -> &'static [PrefetchSite] {
+        LINE_ADDRESS_SITES
+    }
+
+    /// Builds the L1D-site (virtual-address, PC-indexed) prefetcher.
+    /// `None` for specs that do not support the L1D site (the default).
+    fn build_l1(&self, cfg: &SimConfig) -> Option<Box<dyn L1Prefetcher>> {
+        let _ = cfg;
+        None
+    }
 
     /// Validates the spec's parameters against `cfg` *before* any
     /// simulation runs. [`SimConfig::validate`] calls this, so an
@@ -74,9 +113,26 @@ impl PrefetcherHandle {
         self.0.name()
     }
 
-    /// Builds the live prefetcher for one core of `cfg`'s machine.
-    pub fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    /// Builds the live line-address prefetcher (L2/L3 sites) for `cfg`'s
+    /// machine.
+    pub fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         self.0.build(cfg)
+    }
+
+    /// Builds the live L1D-site prefetcher, when the spec supports that
+    /// site.
+    pub fn build_l1(&self, cfg: &SimConfig) -> Option<Box<dyn L1Prefetcher>> {
+        self.0.build_l1(cfg)
+    }
+
+    /// The sites the underlying spec can attach to.
+    pub fn supported_sites(&self) -> &'static [PrefetchSite] {
+        self.0.supported_sites()
+    }
+
+    /// True when the spec can attach to `site`.
+    pub fn supports_site(&self, site: PrefetchSite) -> bool {
+        self.supported_sites().contains(&site)
     }
 
     /// Borrows the underlying spec.
@@ -106,7 +162,7 @@ impl PrefetcherSpec for NoPrefetchSpec {
         "no-prefetch".into()
     }
 
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         Box::new(NullPrefetcher::new(cfg.page))
     }
 }
@@ -120,7 +176,7 @@ impl PrefetcherSpec for NextLineSpec {
         "next-line".into()
     }
 
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         Box::new(FixedOffsetPrefetcher::next_line(cfg.page))
     }
 }
@@ -137,7 +193,7 @@ impl PrefetcherSpec for FixedOffsetSpec {
         format!("offset-{}", self.offset)
     }
 
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         Box::new(FixedOffsetPrefetcher::new(self.offset, cfg.page))
     }
 
@@ -161,7 +217,7 @@ impl PrefetcherSpec for BoSpec {
         "BO".into()
     }
 
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         Box::new(BestOffsetPrefetcher::new(self.config.clone(), cfg.page))
     }
 
@@ -182,7 +238,7 @@ impl PrefetcherSpec for SbpSpec {
         "SBP".into()
     }
 
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         Box::new(SandboxPrefetcher::new(self.config.clone(), cfg.page))
     }
 }
@@ -199,8 +255,44 @@ impl PrefetcherSpec for AmpmSpec {
         "AMPM".into()
     }
 
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         Box::new(AmpmPrefetcher::new(self.config.clone(), cfg.page))
+    }
+}
+
+/// The PC-indexed DL1 stride prefetcher (§5.5) — the default occupant
+/// of the L1D site, and the only built-in spec that attaches there.
+///
+/// Stride works on virtual addresses and load/store PCs, so it cannot be
+/// placed at the line-address L2/L3 sites: `supported_sites` is L1D
+/// only, and configuration validation rejects e.g. `l2:stride`.
+#[derive(Debug, Clone, Default)]
+pub struct StrideSpec {
+    /// Algorithm parameters (§5.5 defaults: 64 entries, distance 16).
+    pub config: StrideConfig,
+}
+
+impl PrefetcherSpec for StrideSpec {
+    fn name(&self) -> String {
+        "stride".into()
+    }
+
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
+        // Unreachable through a validated configuration (the spec is
+        // L1D-only); a null prefetcher keeps raw registry users safe.
+        Box::new(NullPrefetcher::new(cfg.page))
+    }
+
+    fn supported_sites(&self) -> &'static [PrefetchSite] {
+        &[PrefetchSite::L1D]
+    }
+
+    fn build_l1(&self, _cfg: &SimConfig) -> Option<Box<dyn L1Prefetcher>> {
+        Some(Box::new(StridePrefetcher::new(self.config.clone())))
+    }
+
+    fn validate(&self, _cfg: &SimConfig) -> Result<(), String> {
+        self.config.validate()
     }
 }
 
@@ -223,8 +315,15 @@ impl PrefetcherSpec for AdaptiveSpec {
         format!("adaptive-{}", self.inner.name())
     }
 
-    fn build(&self, cfg: &SimConfig) -> Box<dyn L2Prefetcher> {
+    fn build(&self, cfg: &SimConfig) -> Box<dyn Prefetcher> {
         self.inner.build(cfg)
+    }
+
+    fn supported_sites(&self) -> &'static [PrefetchSite] {
+        // Adaptive control reconfigures per-core L2 prefetchers through
+        // the epoch loop; the wrapper is an L2-only spec (an example of
+        // a spec narrower than the line-address default).
+        &[PrefetchSite::L2]
     }
 
     fn validate(&self, cfg: &SimConfig) -> Result<(), String> {
@@ -294,6 +393,16 @@ pub mod prefetchers {
     pub fn ampm_default() -> PrefetcherHandle {
         ampm(AmpmConfig::default())
     }
+
+    /// DL1 stride prefetching with explicit parameters (L1D site only).
+    pub fn stride(config: StrideConfig) -> PrefetcherHandle {
+        PrefetcherHandle::new(StrideSpec { config })
+    }
+
+    /// DL1 stride prefetching with the §5.5 defaults (L1D site only).
+    pub fn stride_default() -> PrefetcherHandle {
+        stride(StrideConfig::default())
+    }
 }
 
 #[cfg(test)]
@@ -328,5 +437,39 @@ mod tests {
         let a = format!("{:?}", prefetchers::fixed(3));
         let b = format!("{:?}", prefetchers::fixed(4));
         assert_ne!(a, b, "job dedup relies on parameter-carrying Debug");
+    }
+
+    #[test]
+    fn site_support_matches_spec_kind() {
+        // Line-address specs are L2/L3-neutral.
+        for handle in [
+            prefetchers::none(),
+            prefetchers::next_line(),
+            prefetchers::fixed(5),
+            prefetchers::bo_default(),
+            prefetchers::sbp_default(),
+            prefetchers::ampm_default(),
+        ] {
+            assert!(handle.supports_site(PrefetchSite::L2), "{}", handle.name());
+            assert!(handle.supports_site(PrefetchSite::L3), "{}", handle.name());
+            assert!(
+                !handle.supports_site(PrefetchSite::L1D),
+                "{}",
+                handle.name()
+            );
+            assert!(handle.build_l1(&SimConfig::default()).is_none());
+        }
+        // Stride is L1D-only.
+        let stride = prefetchers::stride_default();
+        assert_eq!(stride.supported_sites(), &[PrefetchSite::L1D]);
+        let l1 = stride
+            .build_l1(&SimConfig::default())
+            .expect("builds an L1 prefetcher");
+        assert_eq!(l1.name(), "stride");
+        // The adaptive wrapper is L2-only.
+        let adaptive = PrefetcherHandle::new(AdaptiveSpec {
+            inner: prefetchers::bo_default(),
+        });
+        assert_eq!(adaptive.supported_sites(), &[PrefetchSite::L2]);
     }
 }

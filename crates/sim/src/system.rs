@@ -2,7 +2,10 @@
 
 use crate::config::SimConfig;
 use crate::uncore::{PrefetchTelemetry, Uncore, UncoreStats};
-use bosim_adapt::{AdaptTelemetry, DirectiveRecord, EpochFeedback, EpochRecord, TunePolicy};
+use bosim_adapt::{
+    AdaptTelemetry, DirectiveRecord, EpochFeedback, EpochRecord, PrefetchSite, SiteFeedback,
+    TunePolicy,
+};
 use bosim_cpu::{Core, CoreStats, UncoreRequest};
 use bosim_dram::DramStats;
 use bosim_trace::{suite, BenchmarkSpec};
@@ -30,6 +33,14 @@ pub struct SimResult {
     pub uncore: UncoreStats,
     /// DRAM statistics over the measured window (all cores).
     pub dram: DramStats,
+    /// Core 0's L2-site prefetch telemetry, cumulative from simulation
+    /// start (warm-up included — fills resolve across window
+    /// boundaries, so the per-site resolution invariant only holds on
+    /// the cumulative counters).
+    pub l2_site: PrefetchTelemetry,
+    /// The shared L3 site's prefetch telemetry, cumulative from
+    /// simulation start.
+    pub l3_site: PrefetchTelemetry,
     /// Adaptive-control telemetry: core 0's full epoch history (from
     /// simulation start, warm-up included) when the run was adaptive,
     /// `None` for static configurations.
@@ -54,6 +65,29 @@ impl SimResult {
         }
         (self.dram.reads + self.dram.writes) as f64 * 1000.0 / self.instructions as f64
     }
+
+    /// Checks the per-site telemetry invariants carried by this result:
+    /// at core 0's L2 site and the shared L3 site,
+    /// `useful + unused_evicted <= prefetch_fills` — every
+    /// prefetch-filled line resolves at most once. (Other cores' L2
+    /// telemetry is not part of a `SimResult`; the L1 site has no
+    /// fill-resolution counters — its issue counts live in
+    /// [`CoreStats`].)
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_site_invariants(&self) -> Result<(), String> {
+        for (site, t) in [("l2", &self.l2_site), ("l3", &self.l3_site)] {
+            if t.useful + t.unused_evicted > t.prefetch_fills {
+                return Err(format!(
+                    "{site} site: useful ({}) + unused-evicted ({}) exceeds prefetch fills ({})",
+                    t.useful, t.unused_evicted, t.prefetch_fills
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The live adaptive-control engine of a running system: per-core
@@ -68,8 +102,10 @@ struct AdaptRuntime {
     /// machines; bandwidth feedback is shared, decisions are not).
     policies: Vec<Box<dyn TunePolicy>>,
     prev_telemetry: Vec<PrefetchTelemetry>,
+    prev_core: Vec<CoreStats>,
     prev_retired: Vec<u64>,
     prev_dram: DramStats,
+    prev_l3: PrefetchTelemetry,
     telemetry: AdaptTelemetry,
 }
 
@@ -101,8 +137,6 @@ impl System {
         if let Err(e) = cfg.validate() {
             panic!("invalid SimConfig: {e}");
         }
-        let mut core_cfg = cfg.core.clone();
-        core_cfg.stride_prefetcher = cfg.dl1_stride;
         let mut cores = Vec::new();
         for i in 0..cfg.active_cores {
             let trace: Box<dyn bosim_trace::TraceSource> = if i == 0 {
@@ -112,12 +146,17 @@ impl System {
                 spec.seed ^= 0x7417 * i as u64;
                 Box::new(spec.build())
             };
+            // The L1D prefetch site is registry-resolved and pluggable:
+            // every core gets its own instance built from the spec
+            // (validation guaranteed the spec supports the site).
+            let l1 = cfg.l1_prefetcher.as_ref().and_then(|h| h.build_l1(cfg));
             cores.push(Core::new(
                 CoreId(i as u8),
-                core_cfg.clone(),
+                cfg.core.clone(),
                 trace,
                 cfg.page,
                 cfg.seed ^ (i as u64) << 8,
+                l1,
             ));
         }
         let adapt = cfg.adapt.as_ref().map(|a| AdaptRuntime {
@@ -126,8 +165,10 @@ impl System {
             epoch: 0,
             policies: (0..cfg.active_cores).map(|_| a.policy.build()).collect(),
             prev_telemetry: vec![PrefetchTelemetry::default(); cfg.active_cores],
+            prev_core: vec![CoreStats::default(); cfg.active_cores],
             prev_retired: vec![0; cfg.active_cores],
             prev_dram: DramStats::default(),
+            prev_l3: PrefetchTelemetry::default(),
             telemetry: AdaptTelemetry {
                 policy: a.policy.name(),
                 epoch_cycles: a.epoch_cycles,
@@ -274,10 +315,21 @@ impl System {
             let busy = (reads + writes) * self.uncore.dram_line_transfer_cycles();
             let capacity = ad.epoch_cycles * self.uncore.dram_channels() as u64;
             let bus_occupancy = busy as f64 / capacity as f64;
+            // The L3 site is shared: one machine-wide delta, seen by
+            // every core's feedback.
+            let l3 = self.uncore.l3_prefetch_telemetry();
+            let l3_delta = SiteFeedback {
+                issued: l3.issued - ad.prev_l3.issued,
+                prefetch_fills: l3.prefetch_fills - ad.prev_l3.prefetch_fills,
+                useful_fills: l3.useful - ad.prev_l3.useful,
+                unused_evicted: l3.unused_evicted - ad.prev_l3.unused_evicted,
+            };
             for c in 0..self.cores.len() {
                 let core = CoreId(c as u8);
                 let telem = self.uncore.prefetch_telemetry(core);
                 let prev = ad.prev_telemetry[c];
+                let core_stats = self.cores[c].stats();
+                let prev_core = ad.prev_core[c];
                 let retired = self.cores[c].retired();
                 let feedback = EpochFeedback {
                     epoch: ad.epoch,
@@ -294,6 +346,10 @@ impl System {
                     dram_reads: reads,
                     dram_writes: writes,
                     bus_occupancy,
+                    l1_prefetches: core_stats.l1_prefetches - prev_core.l1_prefetches,
+                    l1_tlb_drops: core_stats.l1_prefetch_tlb_drops
+                        - prev_core.l1_prefetch_tlb_drops,
+                    l3: l3_delta,
                 };
                 // Only core 0's record is logged; capture the name of
                 // the prefetcher that *produced* the epoch before any
@@ -304,7 +360,19 @@ impl System {
                 ad.policies[c].on_epoch(&feedback, &mut directives);
                 let mut records = Vec::with_capacity(directives.len());
                 for d in &directives {
-                    let applied = self.uncore.reconfigure_prefetcher(core, d);
+                    // Route each directive to its addressed site: the
+                    // per-core L1/L2 engines, or the shared L3 one. The
+                    // L3 is a single shared engine, so only core 0's
+                    // policy may steer it — honouring every core's L3
+                    // directives would rebuild it once per core and
+                    // leave conflicting policies last-core-wins.
+                    let applied = match d.site {
+                        PrefetchSite::L1D => self.cores[c].reconfigure_l1_prefetcher(&d.directive),
+                        PrefetchSite::L2 => self.uncore.reconfigure_prefetcher(core, &d.directive),
+                        PrefetchSite::L3 => {
+                            c == 0 && self.uncore.reconfigure_l3_prefetcher(&d.directive)
+                        }
+                    };
                     if applied {
                         ad.telemetry.applied += 1;
                     } else {
@@ -323,9 +391,11 @@ impl System {
                     });
                 }
                 ad.prev_telemetry[c] = telem;
+                ad.prev_core[c] = core_stats;
                 ad.prev_retired[c] = retired;
             }
             ad.prev_dram = dram;
+            ad.prev_l3 = l3;
             ad.epoch += 1;
             ad.next_boundary += ad.epoch_cycles;
         }
@@ -394,6 +464,8 @@ impl System {
             core: diff_core(core_before, core_after),
             uncore: diff_uncore(uncore_before, uncore_after),
             dram: diff_dram(dram_before, dram_after),
+            l2_site: self.uncore.prefetch_telemetry(CoreId(0)),
+            l3_site: self.uncore.l3_prefetch_telemetry(),
             adapt: self.adapt.as_ref().map(|a| a.telemetry.clone()),
         }
     }
@@ -430,6 +502,11 @@ fn diff_uncore(a: UncoreStats, b: UncoreStats) -> UncoreStats {
         l3_hits: b.l3_hits - a.l3_hits,
         l3_misses: b.l3_misses - a.l3_misses,
         l3_fill_merges: b.l3_fill_merges - a.l3_fill_merges,
+        l3_prefetches_queued: b.l3_prefetches_queued - a.l3_prefetches_queued,
+        l3_prefetches_issued: b.l3_prefetches_issued - a.l3_prefetches_issued,
+        l3_prefetches_cancelled: b.l3_prefetches_cancelled - a.l3_prefetches_cancelled,
+        l3_prefetches_redundant: b.l3_prefetches_redundant - a.l3_prefetches_redundant,
+        l3_prefetch_fills: b.l3_prefetch_fills - a.l3_prefetch_fills,
         dram_writebacks: b.dram_writebacks - a.dram_writebacks,
     }
 }

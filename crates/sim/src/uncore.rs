@@ -7,9 +7,21 @@
 //! On an L3 miss the L2 fill-queue entry is released and re-reserved when
 //! the block is forwarded from the L3 insertion stage, exactly as §5.4
 //! describes.
+//!
+//! The shared L3 is a prefetch *site* of its own: when
+//! [`SimConfig::l3_prefetcher`] is set, one line-address prefetcher
+//! observes every (non-ifetch) read arriving at the L3 and queues
+//! candidates into a dedicated lowest-priority queue. L3 prefetches obey
+//! the same §5.4 discipline as L2 ones — issued only on cycles when no
+//! request reached the L3, tag-checked against the L3 array and fill
+//! queue before issue *and* before fill, cancelled (never retried) under
+//! resource pressure — and fill the L3 only: they carry no forward, so a
+//! later demand either hits the L3 or merges with the in-flight fill.
+//! With the site empty (the default) every new code path is inert and
+//! the machine is cycle-identical to the pre-site uncore.
 
 use crate::config::SimConfig;
-use best_offset::{AccessOutcome, L2Access, L2Prefetcher, TuneDirective};
+use best_offset::{AccessOutcome, CacheAccess, PrefetchSite, Prefetcher, TuneDirective};
 use bosim_cache::policy::InsertCtx;
 use bosim_cache::policy::PolicyKind;
 use bosim_cache::{CacheArray, FillQueue, PrefetchQueue};
@@ -96,17 +108,34 @@ pub struct UncoreStats {
     pub l3_misses: u64,
     /// L3 misses merged into an in-flight L3 fill.
     pub l3_fill_merges: u64,
+    /// L3-site prefetch candidates accepted into the L3 prefetch queue.
+    pub l3_prefetches_queued: u64,
+    /// L3-site prefetch requests issued to DRAM.
+    pub l3_prefetches_issued: u64,
+    /// L3-site prefetch requests cancelled (queue overflow or
+    /// resource-full; §5.4: prefetches are cancelled, never retried).
+    pub l3_prefetches_cancelled: u64,
+    /// L3-site prefetch candidates dropped because the line was already
+    /// resident, in flight, or queued.
+    pub l3_prefetches_redundant: u64,
+    /// Lines inserted into the L3 still carrying the L3-prefetch class.
+    pub l3_prefetch_fills: u64,
     /// Writebacks sent to DRAM.
     pub dram_writebacks: u64,
 }
 
-/// Per-core prefetch-usefulness telemetry (the raw inputs of the
-/// adaptive-control feedback loop; see `bosim-adapt`).
+/// Per-site prefetch-usefulness telemetry (the raw inputs of the
+/// adaptive-control feedback loop; see `bosim-adapt`). One instance
+/// tracks each core's L2 site; a single shared instance tracks the L3
+/// site (where `prefetch_fills` counts *every* prefetch-class insertion
+/// into the L3 — L2-issued prefetches fill the L3 on their way up, §5.4
+/// — so the resolution invariant below covers them too).
 ///
 /// Counters are cumulative; the epoch monitor snapshots and subtracts.
 /// At any snapshot, `useful + unused_evicted <= prefetch_fills`: every
-/// prefetch-filled line resolves at most once — its first core-side hit
-/// (useful) or its eviction with the prefetch bit still set (unused).
+/// prefetch-filled line resolves at most once — its first hit from
+/// above (useful) or its eviction with the prefetch bit still set
+/// (unused).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefetchTelemetry {
     /// L2 read accesses from this core (demand + L1 prefetch).
@@ -133,7 +162,7 @@ struct L2 {
     array: CacheArray,
     fq: FillQueue<L2Meta>,
     pq: PrefetchQueue,
-    prefetcher: Box<dyn L2Prefetcher>,
+    prefetcher: Box<dyn Prefetcher>,
     stalled: VecDeque<StalledReq>,
     /// (due cycle, line): L3-hit data arriving at the fill queue.
     ready_q: VecDeque<(Cycle, LineAddr)>,
@@ -154,6 +183,20 @@ pub struct Uncore {
     /// (due cycle, request): requests in flight towards the L3.
     l3_in: VecDeque<(Cycle, L3Req)>,
     l3_stalled: VecDeque<L3Req>,
+    /// The L3 prefetch site's engine (`None` = site empty, the paper's
+    /// machine).
+    l3_prefetcher: Option<Box<dyn Prefetcher>>,
+    /// The L3 site's own lowest-priority prefetch queue: candidate lines
+    /// with the core whose access triggered them (for DRAM fairness
+    /// accounting). Oldest entries are cancelled on overflow.
+    l3_pq: VecDeque<(LineAddr, CoreId)>,
+    /// Any request reached the L3 this cycle: L3 prefetch issue waits
+    /// (lowest priority, mirroring the per-L2 demand gate).
+    l3_saw_request: bool,
+    /// Cumulative L3-site telemetry (shared, not per-core).
+    l3_telemetry: PrefetchTelemetry,
+    /// Candidate scratch buffer for the L3 prefetcher.
+    l3_cand_buf: Vec<LineAddr>,
     mem: MemorySystem,
     /// Dirty L3 victims waiting for a DRAM write-queue slot.
     wb_buf: VecDeque<(LineAddr, CoreId)>,
@@ -214,6 +257,11 @@ impl Uncore {
             },
             l3_in: VecDeque::new(),
             l3_stalled: VecDeque::new(),
+            l3_prefetcher: cfg.l3_prefetcher.as_ref().map(|h| h.build(cfg)),
+            l3_pq: VecDeque::new(),
+            l3_saw_request: false,
+            l3_telemetry: PrefetchTelemetry::default(),
+            l3_cand_buf: Vec::new(),
             mem: MemorySystem::new(MemConfig {
                 num_cores: cfg.active_cores,
                 ..Default::default()
@@ -240,33 +288,75 @@ impl Uncore {
 
     /// Access to the L2 prefetcher of a core (introspection for tests and
     /// examples).
-    pub fn l2_prefetcher(&self, core: CoreId) -> &dyn L2Prefetcher {
+    pub fn l2_prefetcher(&self, core: CoreId) -> &dyn Prefetcher {
         self.l2s[core.index()].prefetcher.as_ref()
     }
 
-    /// Snapshot of a core's cumulative prefetch-usefulness telemetry.
+    /// Access to the L3 site's prefetcher, if the site is occupied.
+    pub fn l3_prefetcher(&self) -> Option<&dyn Prefetcher> {
+        self.l3_prefetcher.as_deref()
+    }
+
+    /// Snapshot of a core's cumulative L2-site prefetch-usefulness
+    /// telemetry.
     pub fn prefetch_telemetry(&self, core: CoreId) -> PrefetchTelemetry {
         self.l2s[core.index()].telemetry
+    }
+
+    /// Snapshot of the shared L3 site's cumulative prefetch-usefulness
+    /// telemetry. Counts prefetch-class lines in the L3 regardless of
+    /// the issuing engine (L2 prefetches fill the L3 too, §5.4);
+    /// `issued` counts only the L3 site's own DRAM requests.
+    pub fn l3_prefetch_telemetry(&self) -> PrefetchTelemetry {
+        self.l3_telemetry
     }
 
     /// Applies a runtime reconfiguration directive to a core's L2
     /// prefetcher. [`TuneDirective::SwitchPrefetcher`] is handled here —
     /// the named registry prefetcher is built fresh (cold state) and
     /// swapped in; everything else is delegated to the running
-    /// prefetcher's [`L2Prefetcher::reconfigure`] hook. Returns whether
+    /// prefetcher's [`Prefetcher::reconfigure`] hook. Returns whether
     /// the directive was applied.
     pub fn reconfigure_prefetcher(&mut self, core: CoreId, directive: &TuneDirective) -> bool {
         let l2 = &mut self.l2s[core.index()];
         match directive {
             TuneDirective::SwitchPrefetcher(name) => match crate::registry::registry().lookup(name)
             {
-                Some(handle) => {
+                Some(handle) if handle.supports_site(PrefetchSite::L2) => {
                     l2.prefetcher = handle.build(&self.cfg);
                     true
                 }
-                None => false,
+                _ => false,
             },
             other => l2.prefetcher.reconfigure(other),
+        }
+    }
+
+    /// Applies a runtime reconfiguration directive to the shared L3
+    /// site. [`TuneDirective::SwitchPrefetcher`] rebuilds from the
+    /// registry (the name must attach to the L3 site); other directives
+    /// go to the running prefetcher. Every directive — switches
+    /// included — is rejected when the site is empty: a configuration
+    /// declared L3-prefetch-free stays that way for the whole run.
+    pub fn reconfigure_l3_prefetcher(&mut self, directive: &TuneDirective) -> bool {
+        if self.l3_prefetcher.is_none() {
+            return false;
+        }
+        match directive {
+            TuneDirective::SwitchPrefetcher(name) => {
+                match crate::registry::registry().lookup(name) {
+                    Some(handle) if handle.supports_site(PrefetchSite::L3) => {
+                        self.l3_prefetcher = Some(handle.build(&self.cfg));
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            other => self
+                .l3_prefetcher
+                .as_mut()
+                .expect("checked non-empty above")
+                .reconfigure(other),
         }
     }
 
@@ -424,7 +514,7 @@ impl Uncore {
         cand.clear();
         self.l2s[c]
             .prefetcher
-            .on_access(L2Access { line, outcome }, &mut cand);
+            .on_access(CacheAccess { line, outcome }, &mut cand);
         for &target in &cand {
             let l2 = &mut self.l2s[c];
             // Redundancy checks: resident, in flight, or already queued.
@@ -438,6 +528,77 @@ impl Uncore {
             self.stats.l2_prefetches_cancelled += l2.pq.cancelled - before;
         }
         self.l2s[c].cand_buf = cand;
+    }
+
+    /// Runs the L3-site prefetcher on an eligible L3 access and queues
+    /// its candidates into the site's own lowest-priority queue.
+    fn run_l3_prefetcher(&mut self, core: CoreId, line: LineAddr, outcome: AccessOutcome) {
+        let Some(prefetcher) = self.l3_prefetcher.as_mut() else {
+            return;
+        };
+        let mut cand = std::mem::take(&mut self.l3_cand_buf);
+        cand.clear();
+        prefetcher.on_access(CacheAccess { line, outcome }, &mut cand);
+        for &target in &cand {
+            // Redundancy checks: resident, in flight, or already queued.
+            if self.l3.contains(target)
+                || self.l3_fq.find(target).is_some()
+                || self.l3_pq.iter().any(|&(l, _)| l == target)
+            {
+                self.stats.l3_prefetches_redundant += 1;
+                continue;
+            }
+            self.stats.l3_prefetches_queued += 1;
+            if self.l3_pq.len() >= self.cfg.prefetch_queue {
+                // Queue overflow cancels the oldest entry (§5.4: L2/L3
+                // prefetches can be cancelled at any time).
+                self.l3_pq.pop_front();
+                self.stats.l3_prefetches_cancelled += 1;
+            }
+            self.l3_pq.push_back((target, core));
+        }
+        self.l3_cand_buf = cand;
+    }
+
+    /// Issues at most one L3-site prefetch to DRAM, only on cycles when
+    /// no request reached the L3 (lowest priority, mirroring §5.4).
+    /// Resource pressure cancels the request — prefetches are never
+    /// retried.
+    fn issue_l3_prefetch(&mut self, now: Cycle) {
+        if self.l3_saw_request || self.l3_pq.is_empty() {
+            return;
+        }
+        let Some((line, core)) = self.l3_pq.pop_front() else {
+            return;
+        };
+        // Mandatory tag checks before issue: the block may have arrived
+        // since the candidate was queued.
+        if self.l3.contains(line) || self.l3_fq.find(line).is_some() {
+            self.stats.l3_prefetches_redundant += 1;
+            return;
+        }
+        if self.l3_fq.is_full()
+            || !self.mem.can_accept_read(line, core)
+            || self.mem.has_pending_read(line)
+        {
+            self.stats.l3_prefetches_cancelled += 1;
+            return;
+        }
+        let reserved = self.l3_fq.try_reserve(
+            line,
+            ReqClass::L3Prefetch,
+            L3Meta {
+                requester: core,
+                // No forward: the block fills the shared L3 only. A
+                // later demand hits the L3 or merges with this entry.
+                forwards: Vec::new(),
+            },
+        );
+        debug_assert!(reserved, "checked for space above");
+        let accepted = self.mem.enqueue_read(line, core, 0, now);
+        debug_assert!(accepted, "checked for space above");
+        self.stats.l3_prefetches_issued += 1;
+        self.l3_telemetry.issued += 1;
     }
 
     /// A dirty line written back from a core's DL1.
@@ -481,6 +642,10 @@ impl Uncore {
             },
         );
         if let Some(ev) = evicted {
+            if ev.prefetch {
+                // An untouched prefetch-bit line fell out of the L3.
+                self.l3_telemetry.unused_evicted += 1;
+            }
             if ev.dirty {
                 self.wb_buf.push_back((ev.line, core));
             }
@@ -489,10 +654,32 @@ impl Uncore {
 
     /// Processes a request arriving at the L3.
     fn l3_arrive(&mut self, mut req: L3Req, now: Cycle) {
-        if !req.counted {
+        // Any arrival outranks the L3 prefetch site this cycle (§5.4:
+        // prefetches have the lowest priority).
+        self.l3_saw_request = true;
+        let first_arrival = !req.counted;
+        if first_arrival {
             self.stats.l3_accesses += 1;
+            self.l3_telemetry.accesses += 1;
         }
-        if self.l3.access(req.line, false).is_some() {
+        let hit = self.l3.access(req.line, false);
+        if let Some(info) = hit {
+            if info.was_prefetch {
+                // First touch from above of a prefetch-bit L3 line: the
+                // fill was useful (the access cleared the bit, so this
+                // counts once per prefetched fill).
+                self.l3_telemetry.useful += 1;
+            }
+            // The L3-site prefetcher observes each request once, at its
+            // first arrival (a stalled retry is the same request).
+            if first_arrival && !req.ifetch {
+                let outcome = if info.was_prefetch {
+                    AccessOutcome::PrefetchedHit
+                } else {
+                    AccessOutcome::Hit
+                };
+                self.run_l3_prefetcher(req.core, req.line, outcome);
+            }
             if req.counted {
                 // A stalled-then-retried request whose block landed in
                 // the L3 while it waited (another core's fill or a
@@ -532,6 +719,12 @@ impl Uncore {
                 .push_back((now + self.cfg.l3_latency, req.line));
             return;
         }
+        if first_arrival {
+            self.l3_telemetry.misses += 1;
+            if !req.ifetch {
+                self.run_l3_prefetcher(req.core, req.line, AccessOutcome::Miss);
+            }
+        }
         // The miss is recorded at the terminal outcome below (merge,
         // fill-queue reservation, or prefetch cancellation) rather than
         // here: a stalled request stays unclassified until the retry
@@ -552,6 +745,11 @@ impl Uncore {
         // Merge into a pending L3 fill (the block is already on its way).
         if let Some(e) = self.l3_fq.find_mut(req.line) {
             if req.class == ReqClass::Demand {
+                if e.class == ReqClass::L3Prefetch {
+                    // The demand caught an L3-site prefetch in flight:
+                    // correct but late, charged to the shared L3 site.
+                    self.l3_telemetry.late_promotions += 1;
+                }
                 if e.class == ReqClass::L2Prefetch && req.core == e.payload.requester {
                     // The issuing core's own demand caught its prefetch
                     // whose L2 entry was already released (L3-miss
@@ -633,11 +831,26 @@ impl Uncore {
                     core: entry.payload.requester,
                 },
             );
+            if !demand {
+                // Every prefetch-class insertion counts toward the L3
+                // site's resolution invariant (L2 prefetches fill the
+                // L3 on their way up, §5.4).
+                self.l3_telemetry.prefetch_fills += 1;
+            }
+            if entry.class == ReqClass::L3Prefetch {
+                self.stats.l3_prefetch_fills += 1;
+            }
             if let Some(ev) = evicted {
+                if ev.prefetch {
+                    self.l3_telemetry.unused_evicted += 1;
+                }
                 if ev.dirty {
                     self.wb_buf.push_back((ev.line, entry.payload.requester));
                 }
             }
+        }
+        if let Some(p) = self.l3_prefetcher.as_mut() {
+            p.on_fill(entry.line, entry.class == ReqClass::L3Prefetch);
         }
         // Forward to the L2 fill queues (ready immediately: the block is
         // written into the L3 and forwarded simultaneously, §5.4).
@@ -767,6 +980,7 @@ impl Uncore {
                                 ReqClass::Demand => "D",
                                 ReqClass::L1Prefetch => "1",
                                 ReqClass::L2Prefetch => "2",
+                                ReqClass::L3Prefetch => "3",
                             }
                         ))
                         .collect::<Vec<_>>()
@@ -779,7 +993,7 @@ impl Uncore {
             })
             .collect();
         format!(
-            "l3_fq={}/{} [{}] l3_in={} l3_stalled={} wb={} | L2: {}",
+            "l3_fq={}/{} [{}] l3_in={} l3_stalled={} l3_pq={} wb={} | L2: {}",
             self.l3_fq.len(),
             self.l3_fq.capacity(),
             self.l3_fq
@@ -789,6 +1003,7 @@ impl Uncore {
                 .join(","),
             self.l3_in.len(),
             self.l3_stalled.len(),
+            self.l3_pq.len(),
             self.wb_buf.len(),
             l2s.join(" || ")
         )
@@ -831,6 +1046,12 @@ impl Uncore {
         if self.naive || self.l3_fq.has_ready() {
             self.drain_l3_fq(now);
         }
+
+        // 3b. The L3 prefetch site issues at most one request, only on
+        // cycles when no request reached the L3 (lowest priority). The
+        // gate flag ages out every cycle, like the per-L2 demand gate.
+        self.issue_l3_prefetch(now);
+        self.l3_saw_request = false;
 
         // 4. Per-core L2 work.
         for c in 0..self.l2s.len() {
@@ -898,8 +1119,13 @@ impl Uncore {
     /// happens) but never late (it never skips a state change).
     pub fn next_event_cycle(&self, from: Cycle) -> Cycle {
         // Cheap denials first: retries and drains act every cycle while
-        // their queues hold anything.
-        if !self.l3_stalled.is_empty() || self.l3_fq.has_ready() || !self.wb_buf.is_empty() {
+        // their queues hold anything (the L3 prefetch queue may issue on
+        // any quiet cycle).
+        if !self.l3_stalled.is_empty()
+            || self.l3_fq.has_ready()
+            || !self.wb_buf.is_empty()
+            || !self.l3_pq.is_empty()
+        {
             return from;
         }
         let mut t = Cycle::MAX;
@@ -1324,6 +1550,40 @@ mod tests {
             &TuneDirective::SwitchPrefetcher("definitely-not-registered".into())
         ));
         assert_eq!(u.l2_prefetcher(CoreId(0)).name(), "none");
+    }
+
+    #[test]
+    fn empty_l3_site_rejects_every_directive() {
+        // A configuration declared L3-prefetch-free must stay that way:
+        // even a SwitchPrefetcher directive cannot conjure an engine
+        // into the empty site mid-run.
+        let mut u = uncore(crate::prefetchers::bo_default());
+        assert!(u.l3_prefetcher().is_none());
+        for d in [
+            TuneDirective::SwitchPrefetcher("next-line".into()),
+            TuneDirective::SetEnabled(false),
+            TuneDirective::SetDegree(1),
+        ] {
+            assert!(!u.reconfigure_l3_prefetcher(&d), "{d}");
+        }
+        assert!(u.l3_prefetcher().is_none(), "site must stay empty");
+    }
+
+    #[test]
+    fn occupied_l3_site_switches_and_gates() {
+        let cfg = SimConfig {
+            active_cores: 1,
+            page: PageSize::M4,
+            l2_prefetcher: crate::prefetchers::none(),
+            l3_prefetcher: Some(crate::prefetchers::next_line()),
+            ..Default::default()
+        };
+        let mut u = Uncore::new(&cfg);
+        assert!(u.reconfigure_l3_prefetcher(&TuneDirective::SetEnabled(false)));
+        assert!(u.reconfigure_l3_prefetcher(&TuneDirective::SwitchPrefetcher("offset-4".into())));
+        assert_eq!(u.l3_prefetcher().expect("occupied").name(), "fixed-offset");
+        // L1D-only specs cannot be switched into the L3 site.
+        assert!(!u.reconfigure_l3_prefetcher(&TuneDirective::SwitchPrefetcher("stride".into())));
     }
 
     #[test]

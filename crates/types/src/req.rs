@@ -55,14 +55,17 @@ impl AccessKind {
 pub enum ReqClass {
     /// Demand miss (instruction or data).
     Demand,
-    /// Prefetch issued by the DL1 stride prefetcher.
+    /// Prefetch issued by the L1D-site prefetcher.
     L1Prefetch,
-    /// Prefetch issued by the L2 prefetcher.
+    /// Prefetch issued by the L2-site prefetcher.
     L2Prefetch,
+    /// Prefetch issued by the L3-site prefetcher (fills the shared L3
+    /// only; it has no core to forward to).
+    L3Prefetch,
 }
 
 impl ReqClass {
-    /// True for either prefetch class.
+    /// True for any prefetch class.
     #[inline]
     pub fn is_prefetch(self) -> bool {
         !matches!(self, ReqClass::Demand)
@@ -106,6 +109,7 @@ mod tests {
         assert!(!ReqClass::Demand.is_prefetch());
         assert!(ReqClass::L1Prefetch.is_prefetch());
         assert!(ReqClass::L2Prefetch.is_prefetch());
+        assert!(ReqClass::L3Prefetch.is_prefetch());
     }
 
     #[test]

@@ -118,7 +118,8 @@ fn degree_governor_reconfigures_bo_at_runtime() {
         .flat_map(|e| e.directives.iter())
         .map(|d| d.directive.as_str())
         .collect();
-    assert!(directives.contains(&"degree=2"), "{directives:?}");
+    // Directives are recorded with their addressed site.
+    assert!(directives.contains(&"l2:degree=2"), "{directives:?}");
 
     let ipc_static = run_phase(phase_cfg(prefetchers::bo_default())).ipc();
     assert!(

@@ -114,6 +114,12 @@ fn sample_report() -> Report {
                 l2_miss_per_ki: 30.5,
                 instructions: 1_000_000,
                 cycles: 2_000_000,
+                l1_prefetches: 840,
+                l1_prefetch_tlb_drops: 7,
+                l2_prefetches_issued: 5_000,
+                l2_prefetch_fills: 4_500,
+                l3_prefetches_issued: 600,
+                l3_prefetch_fills: 550,
                 adapt: None,
             }],
         }],
@@ -155,6 +161,12 @@ fn report_json_snapshot() {
         "          \"l2_miss_per_ki\": 30.5,\n",
         "          \"instructions\": 1000000,\n",
         "          \"cycles\": 2000000,\n",
+        "          \"l1_prefetches\": 840,\n",
+        "          \"l1_prefetch_tlb_drops\": 7,\n",
+        "          \"l2_prefetches_issued\": 5000,\n",
+        "          \"l2_prefetch_fills\": 4500,\n",
+        "          \"l3_prefetches_issued\": 600,\n",
+        "          \"l3_prefetch_fills\": 550,\n",
         "          \"adapt\": null\n",
         "        }\n",
         "      ]\n",

@@ -86,6 +86,25 @@ fn golden_stats_adaptive_runs() {
     assert_invariant(governor, "462");
 }
 
+/// Multi-level prefetcher stacks must preserve the invariance too: the
+/// new L3 prefetch site (its own lowest-priority queue, tag checks,
+/// DRAM issue) and the registry-resolved L1 site introduce no
+/// mode-dependent behaviour. The full l1:stride + l2:bo + l3:next-line
+/// stack of the ISSUE's acceptance arm is pinned here, plus an
+/// L1-ablated variant exercising the empty-site path.
+#[test]
+fn golden_stats_multilevel_sites() {
+    let mut full = quick(prefetchers::bo_default(), 0xB05EED);
+    full.l1_prefetcher = Some(prefetchers::stride_default());
+    full.l3_prefetcher = Some(prefetchers::next_line());
+    assert_invariant(full, "462");
+
+    let mut no_l1 = quick(prefetchers::next_line(), 0xB05EED);
+    no_l1.l1_prefetcher = None;
+    no_l1.l3_prefetcher = Some(prefetchers::fixed(4));
+    assert_invariant(no_l1, "429");
+}
+
 #[test]
 fn golden_stats_multicore_large_pages() {
     let cfg = SimConfig {
