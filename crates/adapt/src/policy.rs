@@ -22,7 +22,8 @@ use best_offset::{SiteDirective, TuneDirective};
 use std::fmt;
 use std::sync::Arc;
 
-/// A per-core tuning policy (see the [module docs](self)).
+/// A per-core tuning policy (see the crate docs for the control
+/// loop it plugs into).
 pub trait TunePolicy: fmt::Debug {
     /// The policy's report label.
     fn name(&self) -> String;

@@ -131,7 +131,13 @@ impl From<RunnerError> for ExperimentError {
 }
 
 /// A declarative (benchmark × configuration) grid (see the
-/// [module docs](self)).
+/// [crate docs](crate)).
+///
+/// Benchmarks may be synthetic suite specs or file-backed external
+/// traces ([`BenchmarkSpec::from_trace`]) — the grid machinery (dedup,
+/// threading, speedup pairing) treats them identically, and per-arm
+/// trace sampling rides in
+/// [`SimConfig::sample`](bosim::SimConfig::sample).
 #[derive(Debug, Clone)]
 pub struct Experiment {
     name: String,

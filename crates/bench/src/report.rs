@@ -142,7 +142,7 @@ pub enum Layout {
     GmPivot,
 }
 
-/// A structured experiment result (see the [module docs](self)).
+/// A structured experiment result (see the [crate docs](crate)).
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Machine-friendly experiment id (also the JSON file stem).

@@ -197,7 +197,7 @@ impl MshrFile {
     }
 
     /// Allocates an entry; returns `false` when full or already pending
-    /// (merge with [`find_mut`] first).
+    /// (merge with [`Self::find_mut`] first).
     pub fn try_alloc(&mut self, line: LineAddr, cycle: Cycle, prefetch: bool) -> bool {
         if self.is_full() || self.find(line).is_some() {
             return false;

@@ -1,0 +1,176 @@
+//! Minimal dependency-free command-line parsing.
+//!
+//! The workspace ships no external crates (see the root manifest), so
+//! argument handling is hand-rolled, like `bosim_stats::Json`. The
+//! model is deliberately small: positional arguments plus `--key value`
+//! (or `--key=value`) options; every option takes a value, and each
+//! subcommand validates its own option names so typos are reported with
+//! the accepted set.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A usage error: unknown option, missing value, bad number, ...
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Parsed command-line arguments: positionals in order, options by
+/// name (last occurrence wins).
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses `args`, accepting only the option names in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UsageError`] for an option outside `allowed` (the
+    /// message lists the accepted set) or a trailing option with no
+    /// value.
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self, UsageError> {
+        let mut out = ParsedArgs::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(body) = a.strip_prefix("--") {
+                let (key, inline_value) = match body.split_once('=') {
+                    Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                    None => (body.to_string(), None),
+                };
+                if !allowed.contains(&key.as_str()) {
+                    return Err(UsageError(format!(
+                        "unknown option --{key} (accepted: {})",
+                        allowed
+                            .iter()
+                            .map(|o| format!("--{o}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => {
+                        let next = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| UsageError(format!("option --{key} needs a value")))?;
+                        // A following option is a missing value, not a
+                        // value: `run --trace --stack l2:bo` must not
+                        // read the trace path as "--stack". Values
+                        // genuinely starting with `--` can be passed
+                        // as `--key=--value`.
+                        if next.starts_with("--") {
+                            return Err(UsageError(format!(
+                                "option --{key} needs a value (got {next:?}; use \
+                                 --{key}={next} if that really is the value)"
+                            )));
+                        }
+                        next
+                    }
+                };
+                out.options.insert(key, value);
+            } else {
+                out.positionals.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The value of option `key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UsageError`] naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, UsageError> {
+        self.get(key)
+            .ok_or_else(|| UsageError(format!("missing required option --{key}")))
+    }
+
+    /// An optional `u64` option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UsageError`] when the value is present but not a
+    /// non-negative integer.
+    pub fn get_u64(&self, key: &str) -> Result<Option<u64>, UsageError> {
+        self.get(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| UsageError(format!("option --{key}: bad integer {v:?}: {e}")))
+            })
+            .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_options_mix() {
+        let p = ParsedArgs::parse(
+            &strs(&["file.trace", "--stack", "l2:bo", "--cores=2", "extra"]),
+            &["stack", "cores"],
+        )
+        .unwrap();
+        assert_eq!(p.positionals(), &["file.trace", "extra"]);
+        assert_eq!(p.get("stack"), Some("l2:bo"));
+        assert_eq!(p.get_u64("cores").unwrap(), Some(2));
+        assert_eq!(p.get("missing"), None);
+    }
+
+    #[test]
+    fn unknown_option_lists_the_accepted_set() {
+        let err = ParsedArgs::parse(&strs(&["--sack", "x"]), &["stack"]).unwrap_err();
+        assert!(err.0.contains("--sack"), "{err}");
+        assert!(err.0.contains("--stack"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_and_bad_number_are_reported() {
+        assert!(ParsedArgs::parse(&strs(&["--stack"]), &["stack"]).is_err());
+        let p = ParsedArgs::parse(&strs(&["--cores", "two"]), &["cores"]).unwrap();
+        assert!(p.get_u64("cores").is_err());
+        assert!(p.require("absent").is_err());
+    }
+
+    #[test]
+    fn a_following_option_is_not_a_value() {
+        let err = ParsedArgs::parse(&strs(&["--trace", "--stack", "l2:bo"]), &["trace", "stack"])
+            .unwrap_err();
+        assert!(err.0.contains("--trace needs a value"), "{err}");
+        // The explicit `=` form still allows option-looking values.
+        let p = ParsedArgs::parse(&strs(&["--trace=--weird"]), &["trace"]).unwrap();
+        assert_eq!(p.get("trace"), Some("--weird"));
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let p = ParsedArgs::parse(&strs(&["--n", "1", "--n", "2"]), &["n"]).unwrap();
+        assert_eq!(p.get("n"), Some("2"));
+    }
+}

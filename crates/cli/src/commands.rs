@@ -1,0 +1,539 @@
+//! The `bosim` subcommands: `run`, `sweep`, `inspect`, `gen`.
+
+use crate::args::{ParsedArgs, UsageError};
+use crate::corpus::{self, Corpus};
+use bosim::{SimConfig, SimConfigBuilder};
+use bosim_bench::{Experiment, Report};
+use bosim_stats::{Align, Table};
+use bosim_trace::{
+    addr, analyze, capture, champsim, file, suite, BenchmarkSpec, ExternalSpec, SampleSpec,
+    TraceFormat,
+};
+use bosim_types::PageSize;
+use std::path::{Path, PathBuf};
+
+/// A CLI failure, split by exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command/option, missing argument
+    /// (exit code 2).
+    Usage(String),
+    /// A runtime failure: unreadable trace, failed experiment, ...
+    /// (exit code 1).
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Failed(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+bosim — trace-driven Best-Offset prefetching simulator
+
+USAGE:
+  bosim run --trace FILE [--stack STACK] [options]   replay one trace
+  bosim sweep --corpus FILE [options]                run a (trace x stack) grid
+  bosim inspect FILE [--format F] [--uops N]         summarise a trace
+  bosim gen --bench ID --out FILE [options]          write a synthetic trace
+
+RUN OPTIONS:
+  --trace FILE          the trace to replay (required)
+  --format F            native | champsim | addr-text | addr-bin (default: auto-detect)
+  --name N              benchmark name in reports (default: file stem)
+  --stack S             prefetcher stack, e.g. l2:bo or l1:stride+l2:bo+l3:next-line
+                        (default: the Table 1 machine, next-line at L2)
+  --baseline S          baseline stack; the run reports speedup over it
+  --cores N             active cores (default 1)
+  --page P              4KB | 4MB (default 4KB)
+  --instructions N      measured instructions (default BOSIM_INSTRUCTIONS or 1000000)
+  --warmup N            warm-up instructions (default BOSIM_WARMUP or 200000)
+  --skip N              sampling: discard the first N uops of the trace
+  --window N            sampling: keep N uops per sample
+  --interval N          sampling: distance between sample starts, in uops
+  --report NAME         report id / JSON file stem (default: run_<name>)
+  --out DIR             report directory (default BOSIM_REPORT_DIR or target/reports)
+  --threads N           worker threads
+
+SWEEP OPTIONS:
+  --corpus FILE         the corpus manifest (see docs/TRACES.md)
+  --out DIR, --threads N  as above
+
+GEN OPTIONS:
+  --bench ID            synthetic suite id (433, 462, ... or phase, thrash)
+  --uops N              trace length in uops (default 100000)
+  --out FILE            output path (required)
+  --format F            native | champsim | addr-text | addr-bin (default: native)
+
+Formats, sampling semantics and a worked walkthrough: docs/TRACES.md.
+";
+
+/// Entry point: dispatches `args` (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for bad invocations and
+/// [`CliError::Failed`] for runtime failures; messages are ready to
+/// print on stderr.
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?} (expected run, sweep, inspect or gen; \
+             see bosim --help)"
+        ))),
+        None => Err(CliError::Usage(format!("no command given\n\n{USAGE}"))),
+    }
+}
+
+/// Rejects stray positional arguments (commands taking options only).
+fn no_positionals(p: &ParsedArgs, cmd: &str) -> Result<(), CliError> {
+    match p.positionals() {
+        [] => Ok(()),
+        [first, ..] => Err(CliError::Usage(format!(
+            "bosim {cmd} takes no positional arguments (unexpected {first:?})"
+        ))),
+    }
+}
+
+/// Resolves a trace path + optional format name into an [`ExternalSpec`].
+fn external_spec(
+    path: &Path,
+    format: Option<&str>,
+    name: Option<&str>,
+) -> Result<ExternalSpec, CliError> {
+    let spec = match format {
+        Some(f) => {
+            let format = TraceFormat::from_name(f).map_err(|e| CliError::Usage(e.to_string()))?;
+            ExternalSpec::new(path, format)
+        }
+        None => ExternalSpec::detect(path).map_err(|e| CliError::Failed(e.to_string()))?,
+    };
+    Ok(match name {
+        Some(n) => spec.named(n),
+        None => spec,
+    })
+}
+
+/// Applies a `+`-separated stack of site-qualified registry names to a
+/// builder (`l1:stride+l2:bo+l3:next-line`; a bare name means L2).
+fn apply_stack(mut builder: SimConfigBuilder, stack: &str) -> Result<SimConfigBuilder, CliError> {
+    for part in stack.split('+') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(CliError::Usage(format!(
+                "empty component in stack {stack:?}"
+            )));
+        }
+        builder = builder
+            .site(part)
+            .map_err(|e| CliError::Usage(format!("stack {stack:?}: {e}")))?;
+    }
+    Ok(builder)
+}
+
+fn parse_page(p: &str) -> Result<PageSize, CliError> {
+    match p.to_ascii_lowercase().as_str() {
+        "4kb" | "4k" => Ok(PageSize::K4),
+        "4mb" | "4m" => Ok(PageSize::M4),
+        other => Err(CliError::Usage(format!(
+            "unknown page size {other:?} (expected 4KB or 4MB)"
+        ))),
+    }
+}
+
+/// Builds the sampling plan out of individually optional knobs.
+fn sample_spec(
+    skip: Option<u64>,
+    window: Option<u64>,
+    interval: Option<u64>,
+) -> Option<SampleSpec> {
+    if skip.is_none() && window.is_none() && interval.is_none() {
+        return None;
+    }
+    Some(SampleSpec {
+        skip: skip.unwrap_or(0),
+        window: window.unwrap_or(0),
+        interval: interval.unwrap_or(0),
+    })
+}
+
+/// Shared machine-configuration assembly for `run` and `sweep`.
+struct MachineParams {
+    cores: Option<u64>,
+    page: Option<PageSize>,
+    instructions: Option<u64>,
+    warmup: Option<u64>,
+    sample: Option<SampleSpec>,
+}
+
+impl MachineParams {
+    fn configure(&self, stack: Option<&str>) -> Result<SimConfig, CliError> {
+        let mut b = SimConfig::builder();
+        if let Some(c) = self.cores {
+            b = b.cores(c as usize);
+        }
+        if let Some(p) = self.page {
+            b = b.page(p);
+        }
+        if let Some(n) = self.instructions {
+            b = b.instructions(n);
+        }
+        if let Some(n) = self.warmup {
+            b = b.warmup(n);
+        }
+        if let Some(s) = self.sample {
+            b = b.sample(s);
+        }
+        if let Some(stack) = stack {
+            b = apply_stack(b, stack)?;
+        }
+        b.build()
+            .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))
+    }
+}
+
+/// Runs an assembled experiment and emits its report to `out`.
+fn emit(experiment: Experiment, out: Option<&str>) -> Result<(), CliError> {
+    let report = experiment
+        .run()
+        .map_err(|e| CliError::Failed(format!("experiment failed: {e}")))?;
+    report.print();
+    let dir = out.map(PathBuf::from).unwrap_or_else(Report::default_dir);
+    let path = report
+        .write_json(&dir)
+        .map_err(|e| CliError::Failed(format!("cannot write report JSON: {e}")))?;
+    eprintln!("[bosim] report written to {}", path.display());
+    Ok(())
+}
+
+fn sanitize_id(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.is_empty() {
+        out.push('t');
+    }
+    out
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(
+        args,
+        &[
+            "trace",
+            "format",
+            "name",
+            "stack",
+            "baseline",
+            "cores",
+            "page",
+            "instructions",
+            "warmup",
+            "skip",
+            "window",
+            "interval",
+            "report",
+            "out",
+            "threads",
+        ],
+    )?;
+    no_positionals(&p, "run")?;
+    let trace = p.require("trace")?;
+    let ext = external_spec(Path::new(trace), p.get("format"), p.get("name"))?;
+    // Load once up front so decode errors surface as a typed message,
+    // not a worker panic mid-grid.
+    ext.load()
+        .map_err(|e| CliError::Failed(format!("cannot ingest {trace}: {e}")))?;
+    let bench = BenchmarkSpec::from_trace(ext);
+
+    let machine = MachineParams {
+        cores: p.get_u64("cores")?,
+        page: p.get("page").map(parse_page).transpose()?,
+        instructions: p.get_u64("instructions")?,
+        warmup: p.get_u64("warmup")?,
+        sample: sample_spec(
+            p.get_u64("skip")?,
+            p.get_u64("window")?,
+            p.get_u64("interval")?,
+        ),
+    };
+    let subject = machine.configure(p.get("stack"))?;
+    let report_name = p
+        .get("report")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("run_{}", sanitize_id(&bench.name)));
+    let title = format!("{} on {}", subject.label(), bench.name);
+    let mut e = Experiment::new(report_name, title).benchmarks(vec![bench]);
+    e = match p.get("baseline") {
+        Some(baseline) => e.arm_vs(
+            p.get("stack").unwrap_or("default").to_string(),
+            subject,
+            machine.configure(Some(baseline))?,
+        ),
+        None => e.arm(p.get("stack").unwrap_or("default").to_string(), subject),
+    };
+    if let Some(t) = p.get_u64("threads")? {
+        e = e.threads(t as usize);
+    }
+    emit(e, p.get("out"))
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, &["corpus", "out", "threads"])?;
+    no_positionals(&p, "sweep")?;
+    let manifest = p.require("corpus")?;
+    let corpus = corpus::load(Path::new(manifest)).map_err(|e| CliError::Failed(e.to_string()))?;
+    let e = sweep_experiment(&corpus)?;
+    let mut e = e;
+    if let Some(t) = p.get_u64("threads")? {
+        e = e.threads(t as usize);
+    }
+    emit(e, p.get("out"))
+}
+
+/// Assembles the (trace × stack) experiment a corpus describes.
+///
+/// # Errors
+///
+/// Returns [`CliError::Failed`] for unreadable/undecodable traces and
+/// [`CliError::Usage`] for invalid stacks or a baseline-mixing corpus.
+pub fn sweep_experiment(corpus: &Corpus) -> Result<Experiment, CliError> {
+    // The experiment harness reports either raw metrics or ratios —
+    // reject a mixed corpus with a better message than the harness's.
+    let with = corpus.stacks.iter().find(|s| s.baseline.is_some());
+    let without = corpus.stacks.iter().find(|s| s.baseline.is_none());
+    if let (Some(w), Some(wo)) = (with, without) {
+        return Err(CliError::Usage(format!(
+            "corpus mixes stacks with and without baselines ({:?} vs {:?}): \
+             give every stack a baseline, or none",
+            w.stack, wo.stack
+        )));
+    }
+    let mut benchmarks = Vec::new();
+    for t in &corpus.traces {
+        let ext = external_spec(&t.path, t.format.as_deref(), t.name.as_deref())?;
+        ext.load()
+            .map_err(|e| CliError::Failed(format!("cannot ingest {}: {e}", t.path.display())))?;
+        benchmarks.push(BenchmarkSpec::from_trace(ext));
+    }
+    let machine = MachineParams {
+        cores: None,
+        page: None,
+        instructions: corpus.instructions,
+        warmup: corpus.warmup,
+        sample: sample_spec(corpus.skip, corpus.window, corpus.interval),
+    };
+    let mut e = Experiment::new(
+        sanitize_id(&corpus.name),
+        format!("corpus sweep: {}", corpus.name),
+    )
+    .benchmarks(benchmarks);
+    for s in &corpus.stacks {
+        let subject = machine.configure(Some(&s.stack))?;
+        e = match &s.baseline {
+            Some(b) => e.arm_vs(s.stack.clone(), subject, machine.configure(Some(b))?),
+            None => e.arm(s.stack.clone(), subject),
+        };
+    }
+    Ok(e)
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, &["format", "uops"])?;
+    let [path] = p.positionals() else {
+        return Err(CliError::Usage(
+            "inspect takes exactly one trace file argument".to_string(),
+        ));
+    };
+    let ext = external_spec(Path::new(path), p.get("format"), None)?;
+    let mut src = ext
+        .load()
+        .map_err(|e| CliError::Failed(format!("cannot ingest {path}: {e}")))?;
+    let lap = src.lap_len();
+    let n = p.get_u64("uops")?.unwrap_or(1_000_000).min(lap as u64) as usize;
+    let uops = capture(&mut src, n);
+    let s = analyze::summarize(&uops);
+
+    println!("# {} ({} format)", ext.name, ext.format);
+    let mut t = Table::new(["property", "value"]);
+    t.align([Align::Left, Align::Right]);
+    t.row(["trace length (uops/lap)".to_string(), lap.to_string()]);
+    t.row(["analysed uops".to_string(), s.uops.to_string()]);
+    t.row(["loads".to_string(), s.loads.to_string()]);
+    t.row(["stores".to_string(), s.stores.to_string()]);
+    t.row(["branches".to_string(), s.branches.to_string()]);
+    t.row(["taken branches".to_string(), s.taken_branches.to_string()]);
+    t.row(["fp ops".to_string(), s.fp_ops.to_string()]);
+    t.row(["load ratio".to_string(), format!("{:.3}", s.load_ratio())]);
+    t.row([
+        "data footprint".to_string(),
+        format!("{} KB", s.data_footprint_bytes() >> 10),
+    ]);
+    t.row(["distinct pages".to_string(), s.distinct_pages.to_string()]);
+    t.row(["code lines".to_string(), s.code_lines.to_string()]);
+    println!("{t}");
+
+    let pats = analyze::stride_patterns(&uops, 64.max(n as u64 / 1000));
+    if !pats.is_empty() {
+        println!("# top per-PC strides");
+        let mut t = Table::new(["pc", "stride", "regularity", "count"]);
+        t.align([Align::Right, Align::Right, Align::Right, Align::Right]);
+        for pat in pats.iter().take(8) {
+            t.row([
+                format!("{:#x}", pat.pc),
+                pat.stride.to_string(),
+                format!("{:.2}", pat.regularity),
+                pat.count.to_string(),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    let hist = analyze::line_stride_histogram(&uops, 22);
+    if !hist.is_empty() {
+        println!("# top line strides (4MB regions)");
+        let mut t = Table::new(["line stride", "occurrences"]);
+        t.align([Align::Right, Align::Right]);
+        for &(stride, count) in hist.iter().take(8) {
+            t.row([stride.to_string(), count.to_string()]);
+        }
+        println!("{t}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, &["bench", "uops", "out", "format"])?;
+    no_positionals(&p, "gen")?;
+    let id = p.require("bench")?;
+    let out = PathBuf::from(p.require("out")?);
+    let n = p.get_u64("uops")?.unwrap_or(100_000) as usize;
+    if n == 0 {
+        // Every decoder rejects an empty trace, so writing one would
+        // only defer the failure to the next `run`/`inspect`.
+        return Err(CliError::Usage(
+            "--uops 0 would write an empty trace (every format rejects those on load)".to_string(),
+        ));
+    }
+    let format = match p.get("format") {
+        Some(f) => TraceFormat::from_name(f).map_err(|e| CliError::Usage(e.to_string()))?,
+        None => TraceFormat::Native,
+    };
+    let spec = suite::benchmark(id).ok_or_else(|| {
+        let ids: Vec<String> = suite::suite().iter().map(|b| b.short.clone()).collect();
+        CliError::Usage(format!(
+            "unknown benchmark id {id:?} (available: {}, phase, thrash)",
+            ids.join(", ")
+        ))
+    })?;
+    let uops = capture(&mut spec.build(), n);
+    let bytes = match format {
+        TraceFormat::Native => file::encode(&uops),
+        TraceFormat::ChampSim => champsim::encode(&uops),
+        TraceFormat::AddrText | TraceFormat::AddrBin => {
+            let accesses = addr::accesses_of(&uops);
+            if accesses.is_empty() {
+                return Err(CliError::Failed(format!(
+                    "benchmark {id} produced no memory accesses in {n} uops — \
+                     an address trace would be empty"
+                )));
+            }
+            match format {
+                TraceFormat::AddrText => addr::encode_text(&accesses).into_bytes(),
+                _ => addr::encode_binary(&accesses),
+            }
+        }
+    };
+    std::fs::write(&out, &bytes)
+        .map_err(|e| CliError::Failed(format!("cannot write {}: {e}", out.display())))?;
+    println!(
+        "wrote {} ({} format, {} uops captured, {} bytes)",
+        out.display(),
+        format,
+        n,
+        bytes.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_components_resolve_through_the_registry() {
+        let cfg = apply_stack(SimConfig::builder(), "l1:stride+l2:bo+l3:next-line")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(cfg.label(), "4KB/1-core/l1:stride+l2:BO+l3:next-line");
+        // Bad components carry the registry's diagnosis.
+        let err = apply_stack(SimConfig::builder(), "l3:stride").unwrap_err();
+        assert!(err.to_string().contains("does not attach"), "{err}");
+        assert!(apply_stack(SimConfig::builder(), "l2:bo++l3:bo").is_err());
+    }
+
+    #[test]
+    fn pages_parse_case_insensitively() {
+        assert_eq!(parse_page("4kb").unwrap(), PageSize::K4);
+        assert_eq!(parse_page("4MB").unwrap(), PageSize::M4);
+        assert!(parse_page("2MB").is_err());
+    }
+
+    #[test]
+    fn sample_knobs_fold_into_a_spec() {
+        assert_eq!(sample_spec(None, None, None), None);
+        assert_eq!(
+            sample_spec(Some(10), None, None),
+            Some(SampleSpec::skip(10))
+        );
+        assert_eq!(
+            sample_spec(Some(1), Some(2), Some(3)),
+            Some(SampleSpec::periodic(1, 2, 3))
+        );
+    }
+
+    #[test]
+    fn unknown_commands_and_ids_are_usage_errors() {
+        assert!(matches!(
+            dispatch(&["frobnicate".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(dispatch(&[]), Err(CliError::Usage(_))));
+        let err = cmd_gen(&[
+            "--bench".to_string(),
+            "999".to_string(),
+            "--out".to_string(),
+            "/tmp/x".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("999"), "{err}");
+    }
+
+    #[test]
+    fn sanitize_makes_file_stems() {
+        assert_eq!(sanitize_id("433.milc-like"), "433_milc_like");
+        assert_eq!(sanitize_id(""), "t");
+    }
+}

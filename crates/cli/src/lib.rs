@@ -1,0 +1,33 @@
+//! # bosim-cli — the `bosim` command-line driver
+//!
+//! Opens the simulator to real workloads from the shell: point `bosim`
+//! at a ChampSim or raw address trace and a prefetcher stack, and it
+//! assembles the same validated [`SimConfig`](bosim::SimConfig) +
+//! [`Experiment`](bosim_bench::Experiment) pipeline the figure binaries
+//! use, emitting the usual text tables and JSON reports.
+//!
+//! ```text
+//! bosim run --trace mcf.champsim --stack l2:bo --baseline l2:none
+//! bosim sweep --corpus corpus.toml
+//! bosim inspect mcf.champsim
+//! bosim gen --bench 462 --uops 200000 --out libq.champsim --format champsim
+//! ```
+//!
+//! Everything is dependency-free: argument parsing ([`args`]) and the
+//! corpus manifest parser ([`corpus`], a strict TOML subset) are
+//! hand-rolled, like `bosim_stats::Json`. The command implementations
+//! live in [`commands`] and are exercised directly by the integration
+//! tests — the binary in `main.rs` is a thin exit-code wrapper.
+//!
+//! Trace formats, sampling semantics and a worked walkthrough are
+//! documented in `docs/TRACES.md`; the crate map lives in
+//! `docs/ARCHITECTURE.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod corpus;
+
+pub use commands::{dispatch, CliError, USAGE};

@@ -1,0 +1,17 @@
+//! The `bosim` binary: parse argv, dispatch, map errors to exit codes
+//! (2 = usage, 1 = runtime failure).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bosim_cli::dispatch(&args) {
+        Ok(()) => {}
+        Err(e @ bosim_cli::CliError::Usage(_)) => {
+            eprintln!("bosim: {e}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("bosim: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end driver tests: generate a trace, replay it through
+//! `bosim run`/`bosim sweep`, and check the emitted report JSON —
+//! the same loop the CI ingest-smoke step runs through the binary.
+
+use bosim_cli::{dispatch, CliError};
+use std::path::{Path, PathBuf};
+
+fn strs(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+/// A per-test scratch directory under the target tmpdir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bosim_cli_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn gen_run_round_trip_produces_report_json() {
+    let dir = scratch("run");
+    let trace = dir.join("libq.champsim");
+    dispatch(&strs(&[
+        "gen",
+        "--bench",
+        "462",
+        "--uops",
+        "60000",
+        "--format",
+        "champsim",
+        "--out",
+        trace.to_str().unwrap(),
+    ]))
+    .expect("gen succeeds");
+    assert!(trace.exists());
+
+    // The acceptance shape: a ChampSim trace through l2:bo, with a
+    // warm-up sampling plan, producing a report JSON.
+    dispatch(&strs(&[
+        "run",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--stack",
+        "l2:bo",
+        "--baseline",
+        "l2:none",
+        "--instructions",
+        "20000",
+        "--warmup",
+        "4000",
+        "--skip",
+        "1000",
+        "--report",
+        "cli_run_e2e",
+        "--out",
+        dir.to_str().unwrap(),
+    ]))
+    .expect("run succeeds");
+    let json = read(&dir.join("cli_run_e2e.json"));
+    assert!(json.contains("\"name\": \"cli_run_e2e\""), "{json}");
+    assert!(json.contains("\"metric\": \"speedup\""), "{json}");
+    assert!(json.contains("\"benchmark\": \"libq\""), "{json}");
+    // The sampled subject config label carries the plan.
+    assert!(json.contains("@skip1k"), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_runs_a_corpus_manifest() {
+    let dir = scratch("sweep");
+    let trace = dir.join("mix.addr");
+    dispatch(&strs(&[
+        "gen",
+        "--bench",
+        "470",
+        "--uops",
+        "40000",
+        "--format",
+        "addr-text",
+        "--out",
+        trace.to_str().unwrap(),
+    ]))
+    .expect("gen succeeds");
+    // Relative path: resolved against the manifest's directory.
+    let manifest = dir.join("corpus.toml");
+    std::fs::write(
+        &manifest,
+        "name = \"cli-sweep-e2e\"\n\
+         instructions = 8000\n\
+         warmup = 2000\n\
+         [[trace]]\n\
+         path = \"mix.addr\"\n\
+         [[stack]]\n\
+         stack = \"l2:bo\"\n\
+         baseline = \"l2:none\"\n\
+         [[stack]]\n\
+         stack = \"l2:next-line\"\n\
+         baseline = \"l2:none\"\n",
+    )
+    .unwrap();
+    dispatch(&strs(&[
+        "sweep",
+        "--corpus",
+        manifest.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]))
+    .expect("sweep succeeds");
+    let json = read(&dir.join("cli_sweep_e2e.json"));
+    assert!(json.contains("\"series\": \"l2:bo\""), "{json}");
+    assert!(json.contains("\"series\": \"l2:next-line\""), "{json}");
+    assert!(json.contains("\"benchmark\": \"mix\""), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inspect_summarises_every_format() {
+    let dir = scratch("inspect");
+    for format in ["native", "champsim", "addr-text", "addr-bin"] {
+        let trace = dir.join(format!("t_{format}.bin"));
+        dispatch(&strs(&[
+            "gen",
+            "--bench",
+            "433",
+            "--uops",
+            "20000",
+            "--format",
+            format,
+            "--out",
+            trace.to_str().unwrap(),
+        ]))
+        .expect("gen succeeds");
+        // The `.bin` extension is deliberately unknown: inspect must
+        // honour the explicit --format instead of detection.
+        dispatch(&strs(&[
+            "inspect",
+            trace.to_str().unwrap(),
+            "--format",
+            format,
+        ]))
+        .unwrap_or_else(|e| panic!("inspect {format}: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_invocations_fail_with_usage_errors() {
+    assert!(matches!(dispatch(&strs(&["run"])), Err(CliError::Usage(_))));
+    assert!(matches!(
+        dispatch(&strs(&["run", "--trace", "x", "--bogus", "y"])),
+        Err(CliError::Usage(_))
+    ));
+    // A missing trace file is a runtime failure, not a usage error.
+    assert!(matches!(
+        dispatch(&strs(&["run", "--trace", "/nonexistent/x.champsim"])),
+        Err(CliError::Failed(_))
+    ));
+    // A corrupt trace reports the decode diagnosis with its offset.
+    let dir = scratch("corrupt");
+    let bad = dir.join("bad.champsim");
+    std::fs::write(&bad, vec![0u8; 70]).unwrap(); // 64-byte record + 6 stray bytes
+    match dispatch(&strs(&["run", "--trace", bad.to_str().unwrap()])) {
+        Err(CliError::Failed(msg)) => {
+            assert!(msg.contains("byte offset 64"), "{msg}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -974,6 +974,7 @@ mod tests {
                 )],
                 schedule: bosim_trace::Schedule::Interleaved(vec![1]),
                 seed: 99,
+                external: None,
             };
             let mut core = Core::new(
                 CoreId(0),

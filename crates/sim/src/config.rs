@@ -22,6 +22,7 @@ use best_offset::PrefetchSite;
 use bosim_adapt::AdaptConfig;
 use bosim_cache::policy::PolicyKind;
 use bosim_cpu::CoreConfig;
+use bosim_trace::SampleSpec;
 use bosim_types::PageSize;
 use std::fmt;
 
@@ -107,6 +108,12 @@ pub struct SimConfig {
     /// at every boundary. `None` (the default) reproduces the paper's
     /// static configurations.
     pub adapt: Option<AdaptConfig>,
+    /// Trace sampling applied to core 0's µop stream (warm-up skip +
+    /// periodic measurement windows, see
+    /// [`SampleSpec`]). Intended for long external traces; the
+    /// thrasher streams on cores 1.. are never sampled. `None` (the
+    /// default) replays the stream untouched.
+    pub sample: Option<SampleSpec>,
 }
 
 impl Default for SimConfig {
@@ -134,6 +141,7 @@ impl Default for SimConfig {
             fast_forward: true,
             naive_hot_path: false,
             adapt: None,
+            sample: None,
         }
     }
 }
@@ -192,7 +200,8 @@ impl SimConfig {
     }
 
     /// Short configuration label, e.g. `"4KB/2-core/BO"`; adaptive
-    /// configurations append the policy (`"4KB/2-core/BO+bw-throttle"`).
+    /// configurations append the policy (`"4KB/2-core/BO+bw-throttle"`),
+    /// sampled ones the plan (`"4KB/1-core/BO@skip10k"`).
     ///
     /// Multi-level configurations spell out every site with
     /// site-qualified names, e.g.
@@ -204,6 +213,10 @@ impl SimConfig {
         let policy = match &self.adapt {
             Some(a) => format!("+{}", a.policy.name()),
             None => String::new(),
+        };
+        let policy = match &self.sample {
+            Some(s) if !s.is_passthrough() => format!("{policy}@{s}"),
+            _ => policy,
         };
         let prefetchers = if self.multi_level() {
             let site =
@@ -289,6 +302,11 @@ impl SimConfig {
                 });
             }
         }
+        if let Some(sample) = &self.sample {
+            if let Err(reason) = sample.validate() {
+                return Err(ConfigError::InvalidSample { reason });
+            }
+        }
         if let Some(adapt) = &self.adapt {
             if let Err(reason) = adapt.validate() {
                 return Err(ConfigError::InvalidAdapt { reason });
@@ -368,6 +386,12 @@ pub enum ConfigError {
         /// The violated constraint.
         reason: String,
     },
+    /// The trace-sampling plan was invalid (see
+    /// [`SampleSpec::validate`]).
+    InvalidSample {
+        /// The violated constraint.
+        reason: String,
+    },
     /// A prefetcher name (an adaptive policy's candidate, or a
     /// site-qualified name given to [`SimConfigBuilder::site`]) the
     /// registry cannot resolve.
@@ -403,6 +427,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidAdapt { reason } => {
                 write!(f, "adaptive-control configuration invalid: {reason}")
+            }
+            ConfigError::InvalidSample { reason } => {
+                write!(f, "trace-sampling plan invalid: {reason}")
             }
             ConfigError::UnknownPrefetcher { name, reason } => {
                 write!(f, "unresolvable prefetcher {name:?}: {reason}")
@@ -589,6 +616,14 @@ impl SimConfigBuilder {
     /// configuration (see [`SimConfig::adapt`]).
     pub fn adapt(mut self, adapt: AdaptConfig) -> Self {
         self.cfg.adapt = Some(adapt);
+        self
+    }
+
+    /// Applies a trace-sampling plan to core 0's µop stream (see
+    /// [`SimConfig::sample`]): warm-up skip plus optional periodic
+    /// measurement windows, for replaying long external traces.
+    pub fn sample(mut self, sample: SampleSpec) -> Self {
+        self.cfg.sample = Some(sample);
         self
     }
 
@@ -944,6 +979,34 @@ mod tests {
             .adapt(AdaptConfig::new(policies::bandwidth_throttle()))
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn builder_validates_sampling_plans() {
+        use bosim_trace::SampleSpec;
+        let cfg = SimConfig::builder()
+            .sample(SampleSpec::periodic(10_000, 1_000, 5_000))
+            .build()
+            .expect("valid sampled config");
+        assert_eq!(cfg.label(), "4KB/1-core/next-line@skip10k+1k/5k");
+        // A pass-through plan leaves the label untouched.
+        let plain = SimConfig::builder()
+            .sample(SampleSpec::default())
+            .build()
+            .expect("valid");
+        assert_eq!(plain.label(), "4KB/1-core/next-line");
+        // window > interval is rejected with the plan's diagnosis.
+        let err = SimConfig::builder()
+            .sample(SampleSpec::periodic(0, 10, 5))
+            .build()
+            .unwrap_err();
+        match &err {
+            ConfigError::InvalidSample { reason } => {
+                assert!(reason.contains("exceeds interval"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("sampling plan invalid"));
     }
 
     #[test]

@@ -139,7 +139,8 @@ struct Entries {
     resolvers: Vec<(String, PrefetcherResolver)>,
 }
 
-/// The open prefetcher registry (see the [module docs](self)).
+/// The open prefetcher registry (see the [`registry()`] docs and
+/// the example above).
 ///
 /// Lookups are case-insensitive. Exact names take precedence over
 /// resolvers; within each group, the most recent registration wins, so a
@@ -297,6 +298,19 @@ impl PrefetcherRegistry {
 
 /// The process-wide registry, created on first use with the six built-in
 /// prefetchers pre-registered.
+///
+/// ```
+/// use bosim::registry;
+///
+/// // Plain and parameterised names resolve...
+/// assert_eq!(registry().resolve("bo").unwrap().name(), "BO");
+/// assert_eq!(registry().resolve("offset-12").unwrap().name(), "offset-12");
+/// // ...as do site-qualified ones (a bare name means the L2 site).
+/// let (site, handle) = registry().resolve_site("l3:next-line").unwrap();
+/// assert_eq!((site.label(), handle.name().as_str()), ("l3", "next-line"));
+/// // Failures carry the resolver's diagnosis.
+/// assert!(registry().resolve("offset-0").unwrap_err().to_string().contains("not a prefetch"));
+/// ```
 ///
 /// The global instance additionally carries the `adaptive-<name>`
 /// family: `adaptive-bo` resolves to BO wrapped in

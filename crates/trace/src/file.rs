@@ -4,7 +4,7 @@
 //! module provides an equivalent capability: capture any [`TraceSource`]
 //! prefix to a compact binary buffer or file and replay it later.
 //!
-//! Format (little endian), per record (26 bytes fixed):
+//! Format (little endian), per record (30 bytes fixed):
 //!
 //! ```text
 //! u64 pc | u8 kind | u8 dst(0xFF=none) | u8 src0 | u8 src1
@@ -21,10 +21,17 @@ use std::fs::File;
 use std::io::{Read as _, Write as _};
 use std::path::Path;
 
-const MAGIC: u32 = 0xB05_7ACE;
+pub(crate) const MAGIC: u32 = 0xB05_7ACE;
 const VERSION: u16 = 1;
 
+/// Byte length of the file header (magic, version, reserved, count).
+pub const HEADER_BYTES: usize = 16;
+
 /// Errors produced while encoding or decoding trace files.
+///
+/// Decode errors name both the record index and the absolute byte
+/// offset of the failure, so a corrupt external trace is diagnosable
+/// with a hex editor.
 #[derive(Debug)]
 pub enum TraceFileError {
     /// Underlying I/O failure.
@@ -33,10 +40,23 @@ pub enum TraceFileError {
     BadMagic,
     /// The format version is not supported.
     BadVersion(u16),
-    /// The buffer ended in the middle of a record.
-    Truncated,
+    /// The buffer ended in the middle of the header or a record.
+    Truncated {
+        /// Index of the partial record (0 when the header itself is
+        /// short).
+        record: usize,
+        /// Byte offset at which the partial header/record starts.
+        offset: usize,
+    },
     /// A field held an invalid encoding (e.g. unknown µop kind).
-    Corrupt(&'static str),
+    Corrupt {
+        /// Which field was invalid.
+        what: &'static str,
+        /// Index of the record carrying it.
+        record: usize,
+        /// Absolute byte offset of the invalid field.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for TraceFileError {
@@ -45,8 +65,18 @@ impl fmt::Display for TraceFileError {
             TraceFileError::Io(e) => write!(f, "trace file i/o error: {e}"),
             TraceFileError::BadMagic => write!(f, "not a bosim trace file (bad magic)"),
             TraceFileError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
-            TraceFileError::Truncated => write!(f, "trace file is truncated"),
-            TraceFileError::Corrupt(what) => write!(f, "corrupt trace field: {what}"),
+            TraceFileError::Truncated { record, offset } => write!(
+                f,
+                "trace file truncated at record {record} (byte offset {offset})"
+            ),
+            TraceFileError::Corrupt {
+                what,
+                record,
+                offset,
+            } => write!(
+                f,
+                "corrupt trace field: {what} in record {record} (byte offset {offset})"
+            ),
         }
     }
 }
@@ -192,11 +222,16 @@ pub fn encode(uops: &[MicroOp]) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns a [`TraceFileError`] when the magic/version are wrong, the
-/// buffer is truncated, or a field is invalid.
+/// buffer is truncated, or a field is invalid; truncation and
+/// corruption errors name the record index and byte offset.
 pub fn decode(buf: &[u8]) -> Result<Vec<MicroOp>, TraceFileError> {
+    let total = buf.len();
     let mut buf = Reader::new(buf);
-    if buf.remaining() < 16 {
-        return Err(TraceFileError::Truncated);
+    if buf.remaining() < HEADER_BYTES {
+        return Err(TraceFileError::Truncated {
+            record: 0,
+            offset: 0,
+        });
     }
     if buf.u32_le() != MAGIC {
         return Err(TraceFileError::BadMagic);
@@ -209,12 +244,20 @@ pub fn decode(buf: &[u8]) -> Result<Vec<MicroOp>, TraceFileError> {
     let n = buf.u64_le() as usize;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     const REC: usize = 8 + 4 + 9 + 9;
-    for _ in 0..n {
+    for record in 0..n {
+        let rec_offset = total - buf.remaining();
         if buf.remaining() < REC {
-            return Err(TraceFileError::Truncated);
+            return Err(TraceFileError::Truncated {
+                record,
+                offset: rec_offset,
+            });
         }
         let pc = buf.u64_le();
-        let kind = kind_from_u8(buf.u8()).ok_or(TraceFileError::Corrupt("uop kind"))?;
+        let kind = kind_from_u8(buf.u8()).ok_or(TraceFileError::Corrupt {
+            what: "uop kind",
+            record,
+            offset: rec_offset + 8,
+        })?;
         let dst = reg_from_u8(buf.u8());
         let s0 = reg_from_u8(buf.u8());
         let s1 = reg_from_u8(buf.u8());
@@ -279,7 +322,11 @@ pub fn load_replay(path: &Path, name: &str) -> Result<ReplaySource, TraceFileErr
     f.read_to_end(&mut buf)?;
     let uops = decode(&buf)?;
     if uops.is_empty() {
-        return Err(TraceFileError::Corrupt("empty trace"));
+        return Err(TraceFileError::Corrupt {
+            what: "empty trace",
+            record: 0,
+            offset: HEADER_BYTES,
+        });
     }
     Ok(ReplaySource::new(name, uops))
 }
@@ -306,17 +353,60 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_detected() {
+    fn truncation_is_detected_with_record_and_offset() {
         let uops = capture(&mut suite::benchmark("462").unwrap().build(), 10);
         let encoded = encode(&uops);
         let err = decode(&encoded[..encoded.len() - 3]).unwrap_err();
-        assert!(matches!(err, TraceFileError::Truncated));
+        const REC: usize = 30;
+        match err {
+            TraceFileError::Truncated { record, offset } => {
+                // The last record is the partial one, and the offset
+                // points at where it begins.
+                assert_eq!(record, 9);
+                assert_eq!(offset, HEADER_BYTES + 9 * REC);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A short header reports record 0 / offset 0.
+        assert!(matches!(
+            decode(&encoded[..10]).unwrap_err(),
+            TraceFileError::Truncated {
+                record: 0,
+                offset: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_kind_byte_names_record_and_offset() {
+        let uops = capture(&mut suite::benchmark("462").unwrap().build(), 10);
+        let mut encoded = encode(&uops);
+        const REC: usize = 30;
+        // Corrupt the kind byte of record 4 (offset 8 within a record).
+        let at = HEADER_BYTES + 4 * REC + 8;
+        encoded[at] = 0xEE;
+        let err = decode(&encoded).unwrap_err();
+        match err {
+            TraceFileError::Corrupt {
+                what,
+                record,
+                offset,
+            } => {
+                assert_eq!(what, "uop kind");
+                assert_eq!(record, 4);
+                assert_eq!(offset, at);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let msg = decode(&encoded).unwrap_err().to_string();
+        assert!(msg.contains("record 4"), "{msg}");
+        assert!(msg.contains(&format!("byte offset {at}")), "{msg}");
     }
 
     #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir();
-        let path = dir.join("bosim_trace_test.btrace");
+        let path = dir.join(format!("bosim_trace_test_{}.btrace", std::process::id()));
         let spec = suite::benchmark("456").unwrap();
         record_to_file(&mut spec.build(), 500, &path).unwrap();
         let mut replay = load_replay(&path, "456-replayed").unwrap();

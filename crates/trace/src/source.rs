@@ -9,6 +9,25 @@ use crate::record::MicroOp;
 /// [`ReplaySource`], mirroring the paper's sample-stitching methodology
 /// (§5: 20 samples of 50M instructions stitched together and, for our
 /// shorter runs, cycled).
+///
+/// Anything producing µops can drive a core — synthetic generators,
+/// replayed files, externally ingested ChampSim or address traces, or a
+/// custom implementation:
+///
+/// ```
+/// use bosim_trace::{MicroOp, TraceSource};
+///
+/// /// An endless stream of no-ops at one PC.
+/// #[derive(Debug)]
+/// struct Idle;
+/// impl TraceSource for Idle {
+///     fn next_uop(&mut self) -> MicroOp { MicroOp::nop(0x400000) }
+///     fn name(&self) -> &str { "idle" }
+/// }
+///
+/// let mut src: Box<dyn TraceSource> = Box::new(Idle);
+/// assert_eq!(src.next_uop().pc, 0x400000);
+/// ```
 pub trait TraceSource: std::fmt::Debug {
     /// Produces the next µop on the traced path.
     fn next_uop(&mut self) -> MicroOp;
@@ -17,11 +36,28 @@ pub trait TraceSource: std::fmt::Debug {
     fn name(&self) -> &str;
 }
 
+/// Boxed sources are sources, so dynamically-chosen streams (file
+/// replay vs synthetic) compose with wrappers like
+/// [`SampledSource`](crate::SampledSource).
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_uop(&mut self) -> MicroOp {
+        (**self).next_uop()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Replays a recorded µop vector in an endless loop.
+///
+/// The vector is held behind an [`Arc`](std::sync::Arc), so cloning a
+/// replayer — and handing the same decoded trace to every cell of an
+/// experiment grid — shares one allocation.
 #[derive(Debug, Clone)]
 pub struct ReplaySource {
     name: String,
-    uops: Vec<MicroOp>,
+    uops: std::sync::Arc<Vec<MicroOp>>,
     pos: usize,
 }
 
@@ -32,6 +68,16 @@ impl ReplaySource {
     ///
     /// Panics if `uops` is empty.
     pub fn new(name: impl Into<String>, uops: Vec<MicroOp>) -> Self {
+        ReplaySource::from_shared(name, std::sync::Arc::new(uops))
+    }
+
+    /// Creates a looping replayer over an already-shared µop vector
+    /// (no copy — used by the external-trace decode cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is empty.
+    pub fn from_shared(name: impl Into<String>, uops: std::sync::Arc<Vec<MicroOp>>) -> Self {
         assert!(!uops.is_empty(), "cannot replay an empty trace");
         ReplaySource {
             name: name.into(),

@@ -39,6 +39,7 @@ fn spec(short: &str, name: &str, kernels: Vec<KernelCfg>, schedule: Schedule) ->
         short: short.to_string(),
         kernels,
         schedule,
+        external: None,
     }
 }
 

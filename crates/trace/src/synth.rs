@@ -10,6 +10,7 @@
 //! Specs are plain data (`Clone`, `Debug`); [`BenchmarkSpec::build`]
 //! instantiates a fresh deterministic [`SynthSource`] for every run.
 
+use crate::ingest::{ExternalSpec, TraceError};
 use crate::kernels::KernelState;
 use crate::record::MicroOp;
 use crate::source::TraceSource;
@@ -139,19 +140,29 @@ pub enum Schedule {
     Phased(Vec<(usize, u64)>),
 }
 
-/// A complete synthetic benchmark description.
+/// A complete benchmark description: either a synthetic kernel mixture
+/// or a pointer to an external trace file.
+///
+/// Synthetic specs are what the 29-benchmark suite builds; file-backed
+/// specs come from [`BenchmarkSpec::from_trace`] and flow through the
+/// same experiment machinery (the [`external`](Self::external) field
+/// short-circuits [`source`](Self::source) to the file loader).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkSpec {
     /// Full name, e.g. `"433.milc-like"`.
     pub name: String,
     /// Short SPEC-style id used on figure axes, e.g. `"433"`.
     pub short: String,
-    /// The kernels of the mixture.
+    /// The kernels of the mixture (empty for file-backed specs).
     pub kernels: Vec<KernelCfg>,
-    /// Kernel schedule.
+    /// Kernel schedule (ignored for file-backed specs).
     pub schedule: Schedule,
     /// Seed for all pseudo-random decisions of the generators.
     pub seed: u64,
+    /// External trace backing this benchmark; when set, the kernels and
+    /// schedule are ignored and [`source`](Self::source) replays the
+    /// file.
+    pub external: Option<ExternalSpec>,
 }
 
 /// Virtual-address layout constants for generated benchmarks.
@@ -178,13 +189,50 @@ pub mod layout {
 }
 
 impl BenchmarkSpec {
-    /// Instantiates a fresh deterministic trace source for this spec.
+    /// Describes a file-backed benchmark replaying `external`. The
+    /// benchmark name and short label are the spec's name.
+    pub fn from_trace(external: ExternalSpec) -> Self {
+        BenchmarkSpec {
+            name: external.name.clone(),
+            short: external.name.clone(),
+            kernels: Vec::new(),
+            schedule: Schedule::Interleaved(Vec::new()),
+            seed: 0,
+            external: Some(external),
+        }
+    }
+
+    /// Instantiates the trace source for this spec: the file replayer
+    /// for file-backed specs, a fresh deterministic [`SynthSource`]
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trace load/decode error of a file-backed spec
+    /// (synthetic specs cannot fail here — they panic on malformed
+    /// kernel configurations, see [`build`](Self::build)).
+    pub fn source(&self) -> Result<Box<dyn TraceSource>, TraceError> {
+        match &self.external {
+            Some(ext) => Ok(Box::new(ext.load()?)),
+            None => Ok(Box::new(self.build())),
+        }
+    }
+
+    /// Instantiates a fresh deterministic synthetic trace source for
+    /// this spec. Prefer [`source`](Self::source), which also handles
+    /// file-backed specs.
     ///
     /// # Panics
     ///
-    /// Panics if the spec is malformed (no kernels, more than 8 kernels,
-    /// an empty schedule, or a schedule referencing a missing kernel).
+    /// Panics if the spec is file-backed, or malformed (no kernels, more
+    /// than 8 kernels, an empty schedule, or a schedule referencing a
+    /// missing kernel).
     pub fn build(&self) -> SynthSource {
+        assert!(
+            self.external.is_none(),
+            "file-backed benchmark {} has no synthetic source — use source()",
+            self.name
+        );
         assert!(!self.kernels.is_empty(), "benchmark needs kernels");
         assert!(
             self.kernels.len() <= 8,
@@ -312,7 +360,36 @@ mod tests {
             })],
             schedule: Schedule::Interleaved(vec![1]),
             seed: 1,
+            external: None,
         }
+    }
+
+    #[test]
+    fn file_backed_spec_sources_the_file() {
+        use crate::ingest::{ExternalSpec, TraceFormat};
+        let path = std::env::temp_dir().join(format!(
+            "bosim_synth_external_{}.btrace",
+            std::process::id()
+        ));
+        let uops = capture(&mut tiny_stream_spec().build(), 100);
+        std::fs::write(&path, crate::file::encode(&uops)).unwrap();
+        let spec = BenchmarkSpec::from_trace(ExternalSpec::new(&path, TraceFormat::Native));
+        assert_eq!(
+            spec.name,
+            format!("bosim_synth_external_{}", std::process::id())
+        );
+        let mut src = spec.source().expect("loads");
+        assert_eq!(capture(src.as_mut(), 100), uops);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "no synthetic source")]
+    fn build_panics_on_file_backed_specs() {
+        use crate::ingest::{ExternalSpec, TraceFormat};
+        let spec =
+            BenchmarkSpec::from_trace(ExternalSpec::new("/tmp/none.btrace", TraceFormat::Native));
+        let _ = spec.build();
     }
 
     #[test]

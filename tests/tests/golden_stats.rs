@@ -105,6 +105,36 @@ fn golden_stats_multilevel_sites() {
     assert_invariant(no_l1, "429");
 }
 
+/// File-backed external traces must preserve the invariance too, with
+/// trace sampling in play: the ingestion path (ChampSim decode + µop
+/// lowering) and the `SampledSource` wrapper are deterministic pure
+/// functions of the file, so naive and fast-forward replays of the same
+/// trace under the same warm-up sampling plan stay bit-identical.
+#[test]
+fn golden_stats_file_backed_trace_with_sampling() {
+    use bosim_trace::{capture, champsim, BenchmarkSpec, ExternalSpec, SampleSpec, TraceFormat};
+    let path = std::env::temp_dir().join(format!(
+        "bosim_golden_external_{}.champsim",
+        std::process::id()
+    ));
+    let uops = capture(&mut suite::benchmark("462").unwrap().build(), 100_000);
+    std::fs::write(&path, champsim::encode(&uops)).unwrap();
+    let bench = BenchmarkSpec::from_trace(
+        ExternalSpec::new(&path, TraceFormat::ChampSim).named("462-file"),
+    );
+    let base = SimConfig {
+        sample: Some(SampleSpec::periodic(10_000, 20_000, 30_000)),
+        ..quick(prefetchers::bo_default(), 0xB05EED)
+    };
+    let mut naive = base.clone();
+    naive.fast_forward = false;
+    naive.naive_hot_path = true;
+    let a = System::new(&naive, &bench).run();
+    let b = System::new(&base, &bench).run();
+    assert_eq!(a, b, "file-backed replay diverged between hot paths");
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn golden_stats_multicore_large_pages() {
     let cfg = SimConfig {
