@@ -13,6 +13,7 @@ use bosim_stats::Json;
 /// One prefetch site's counter deltas over an epoch (the L1/L3 blocks
 /// of [`EpochFeedback`]; the L2 site — the paper's subject and what
 /// every pre-existing policy reads — keeps its flat fields).
+// bosim-lint: schema(site-feedback)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SiteFeedback {
     /// Prefetch requests the site issued downstream.
@@ -54,6 +55,7 @@ impl SiteFeedback {
 /// epoch plus the shared DRAM-bus occupancy.
 ///
 /// All counters are deltas (this epoch only), not running totals.
+// bosim-lint: schema(epoch-feedback)
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EpochFeedback {
     /// Epoch index since simulation start (0-based).

@@ -28,7 +28,6 @@
 //! themselves never see a simulator, only [`EpochFeedback`] values —
 //! which keeps them deterministic and unit-testable in isolation.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod feedback;

@@ -169,7 +169,7 @@ impl TunePolicy for DegreeGovernor {
         if fb.resolved_fills() < self.spec.min_fills {
             return;
         }
-        let acc = fb.accuracy().expect("resolved_fills > 0");
+        let acc = fb.accuracy().expect("resolved_fills > 0"); // bosim-lint: allow(P002, guarded by resolved_fills > 0 above)
         let occ = fb.bus_occupancy;
         if self.degree == 1 && acc >= self.spec.accuracy_up && occ < self.spec.occupancy_cap {
             self.degree = 2;

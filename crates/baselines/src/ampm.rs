@@ -125,7 +125,7 @@ impl AmpmPrefetcher {
                     .max_by_key(|&i| {
                         (if slice[i].valid { 0u16 } else { 256 }) + slice[i].lru as u16
                     })
-                    .expect("non-empty set");
+                    .expect("non-empty set"); // bosim-lint: allow(P002, replacement set is structurally non-empty)
                 slice[w].valid = true;
                 slice[w].tag = zone_id;
                 slice[w].map = [0; ZONE_WORDS];

@@ -14,7 +14,6 @@
 //! the DL1 stride prefetcher implements [`best_offset::L1Prefetcher`]
 //! because it works on virtual addresses and trains in program order.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ampm;

@@ -178,7 +178,7 @@ impl StridePrefetcher {
                 // Allocate the LRU way.
                 let w = (0..set.len())
                     .max_by_key(|&i| if set[i].valid { set[i].lru } else { u8::MAX })
-                    .expect("non-empty set");
+                    .expect("non-empty set"); // bosim-lint: allow(P002, replacement set is structurally non-empty)
                 set[w] = StrideEntry {
                     valid: true,
                     pc,

@@ -188,6 +188,7 @@ impl Experiment {
         self.benchmarks(
             ids.iter()
                 .map(|id| {
+                    // bosim-lint: allow(P003, harness entry point; env-var benchmark lists fail fast by design)
                     suite::benchmark(id).unwrap_or_else(|| panic!("unknown benchmark id {id:?}"))
                 })
                 .collect(),

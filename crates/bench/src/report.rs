@@ -13,6 +13,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Key statistics of one simulation run (one grid cell).
+// bosim-lint: schema(run-summary)
 #[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Benchmark name (e.g. `"433.milc-like"`).

@@ -133,8 +133,8 @@ pub fn measure_suite(
                 optimized = fastest(optimized, o);
             }
             ThroughputPair {
-                naive: naive.expect("reps >= 1"),
-                optimized: optimized.expect("reps >= 1"),
+                naive: naive.expect("reps >= 1"), // bosim-lint: allow(P002, reps >= 1 so both arms ran)
+                optimized: optimized.expect("reps >= 1"), // bosim-lint: allow(P002, reps >= 1 so both arms ran)
             }
         })
         .collect()

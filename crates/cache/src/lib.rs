@@ -31,7 +31,6 @@
 //! assert!(hit.was_prefetch); // prefetched hit: triggers the L2 prefetcher
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod array;

@@ -74,7 +74,7 @@ impl PrefetchQueue {
             return;
         }
         if self.entries.len() >= self.cap {
-            let oldest = self.entries.pop_front().expect("full ⇒ nonempty");
+            let oldest = self.entries.pop_front().expect("full ⇒ nonempty"); // bosim-lint: allow(P002, full queue is non-empty)
             if !self.linear {
                 self.index.remove(oldest);
             }
@@ -122,7 +122,7 @@ impl PrefetchQueue {
                 .entries
                 .iter()
                 .position(|&l| l == line)
-                .expect("indexed line is queued");
+                .expect("indexed line is queued"); // bosim-lint: allow(P002, the index maps only queued lines)
             self.entries.remove(pos);
             true
         }

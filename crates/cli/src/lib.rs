@@ -23,7 +23,6 @@
 //! documented in `docs/TRACES.md`; the crate map lives in
 //! `docs/ARCHITECTURE.md`.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

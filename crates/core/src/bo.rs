@@ -211,7 +211,7 @@ impl BestOffsetPrefetcher {
     pub fn new(cfg: BoConfig, page: PageSize) -> Self {
         match Self::try_new(cfg, page) {
             Ok(p) => p,
-            Err(e) => panic!("invalid BoConfig: {e}"),
+            Err(e) => panic!("invalid BoConfig: {e}"), // bosim-lint: allow(P003, documented Panics contract; try_new is the fallible twin)
         }
     }
 

@@ -39,7 +39,6 @@
 //! assert_eq!(requests, vec![LineAddr(9)]);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bo;

@@ -422,7 +422,7 @@ impl Core {
                 self.stats.dl1_misses += 1;
                 self.mshr
                     .find_mut(line)
-                    .expect("just allocated")
+                    .expect("just allocated") // bosim-lint: allow(P002, MSHR entry allocated two lines above)
                     .waiters
                     .push(seq);
                 out.push(UncoreRequest::Read {
@@ -537,7 +537,7 @@ impl Core {
             return;
         }
         if self.mshr.try_alloc(line, now, false) {
-            self.mshr.find_mut(line).expect("just allocated").store = true;
+            self.mshr.find_mut(line).expect("just allocated").store = true; // bosim-lint: allow(P002, MSHR entry allocated in the branch above)
             self.stats.dl1_misses += 1;
             out.push(UncoreRequest::Read {
                 line,
@@ -563,7 +563,7 @@ impl Core {
             if head.kind == UopKind::Store && self.store_buffer.len() >= self.cfg.store_buffer {
                 return; // store buffer full: stall retirement
             }
-            let e = self.rob.pop_front().expect("head exists");
+            let e = self.rob.pop_front().expect("head exists"); // bosim-lint: allow(P002, guarded by the head inspection above)
             self.head_seq += 1;
             self.stats.retired += 1;
             if e.has_mem {

@@ -13,7 +13,6 @@
 //! in the `bosim` crate) through [`UncoreRequest`] values and
 //! [`Core::fill`] callbacks.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod core;

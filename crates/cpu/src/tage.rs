@@ -99,7 +99,7 @@ impl Tage {
     /// Panics if the configuration has no tagged tables.
     pub fn new(cfg: TageConfig) -> Self {
         assert!(!cfg.history_lengths.is_empty());
-        let max_hist = *cfg.history_lengths.iter().max().expect("non-empty") as usize;
+        let max_hist = *cfg.history_lengths.iter().max().expect("non-empty") as usize; // bosim-lint: allow(P002, history_lengths is validated non-empty)
         let tables = cfg
             .history_lengths
             .iter()

@@ -138,7 +138,7 @@ impl Channel {
 
     /// Issues a read CAS for queue position `pos` of core `c`.
     fn issue_read_cas(&mut self, t: &DdrTimings, now: Cycle, c: usize, pos: usize, urgent: bool) {
-        let req = self.read_q[c].remove(pos).expect("position valid");
+        let req = self.read_q[c].remove(pos).expect("position valid"); // bosim-lint: allow(P002, position comes from a scan of the same queue)
         let data_end = self.banks[req.loc.bank as usize].read(now, t);
         self.bus_free_at = data_end;
         self.completions
@@ -332,7 +332,7 @@ impl Channel {
                 if let Some(pos) = (0..self.write_q[c].len())
                     .find(|&p| self.write_cas_ready(t, now, self.write_q[c][p].loc))
                 {
-                    let req = self.write_q[c].remove(pos).expect("valid");
+                    let req = self.write_q[c].remove(pos).expect("valid"); // bosim-lint: allow(P002, position comes from a scan of the same queue)
                     let data_end = self.banks[req.loc.bank as usize].write(now, t);
                     self.bus_free_at = data_end;
                     self.read_ok_at = data_end + t.core(t.t_wtr);

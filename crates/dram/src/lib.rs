@@ -26,7 +26,6 @@
 //! assert_eq!(done.len(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod controller;

@@ -1,0 +1,30 @@
+//! Fixture: patterns that look close to violations but are all legal.
+//! Linted as `crates/cache/src/fixture.rs` → zero findings.
+
+/// `unwrap_or_else` / `unwrap_or_default` are different identifiers.
+pub fn near_miss(x: Option<u64>) -> u64 {
+    x.unwrap_or_else(|| 7) + None::<u64>.unwrap_or_default()
+}
+
+/// Taking an `Instant` as data is fine; only `::now()` is a clock read.
+pub fn elapsed_cycles(t0: std::time::Instant) -> u128 {
+    t0.elapsed().as_nanos()
+}
+
+/// Mentions inside strings and comments are not code: HashMap,
+/// Instant::now, panic!.
+pub fn labels() -> &'static str {
+    "HashMap Instant::now() .unwrap() panic!"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: hash-ordered containers in a determinism-sensitive crate.
+//! Linted as `crates/cache/src/fixture.rs` → two D001 findings.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn sum(counts: &HashMap<u64, u64>, seen: &HashSet<u64>) -> u64 {
+    counts.values().sum::<u64>() + seen.len() as u64
+}

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock reads outside the timing modules.
+//! Linted as `crates/stats/src/fixture.rs` → two D002 findings.
+
+pub fn stamp() -> (std::time::Instant, std::time::SystemTime) {
+    (std::time::Instant::now(), std::time::SystemTime::now())
+}

@@ -1,0 +1,8 @@
+//! Fixture: unseeded randomness in library code.
+//! Linted as `crates/core/src/fixture.rs` → one D003 finding.
+
+use std::collections::hash_map::RandomState;
+
+pub fn hasher() -> RandomState {
+    Default::default()
+}

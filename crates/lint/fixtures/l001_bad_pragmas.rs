@@ -1,0 +1,8 @@
+//! Fixture: malformed `bosim-lint:` directives.
+//! Linted as `crates/cache/src/fixture.rs` → three L001 findings:
+//! a reason-less allow, an unknown rule id, an unknown directive.
+
+// bosim-lint: allow(P001)
+// bosim-lint: allow(Q999, no such rule)
+// bosim-lint: deny(P001)
+pub fn nothing() {}

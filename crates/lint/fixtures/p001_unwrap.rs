@@ -1,0 +1,16 @@
+//! Fixture: `.unwrap()` in library code.
+//! Linted as `crates/cache/src/fixture.rs` → one P001 finding; the
+//! `unwrap_or` call and the test-module unwrap must stay silent.
+
+pub fn first(xs: &[u64]) -> u64 {
+    let fallback = xs.last().copied().unwrap_or(0);
+    xs.first().copied().unwrap() + fallback
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[7]).checked_mul(1).unwrap(), 14);
+    }
+}

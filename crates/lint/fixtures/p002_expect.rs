@@ -1,0 +1,6 @@
+//! Fixture: `.expect(…)` in library code.
+//! Linted as `crates/sim/src/fixture.rs` → one P002 finding.
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller promised digits")
+}

@@ -1,0 +1,17 @@
+//! Fixture: panicking macros in library code.
+//! Linted as `crates/dram/src/fixture.rs` → three P003 findings
+//! (`panic!`, `todo!`, `unimplemented!`); `unreachable!` and `assert!`
+//! are deliberately outside the rule and must stay silent.
+
+pub fn dispatch(op: u8) -> u64 {
+    match op {
+        0 => panic!("boom"),
+        1 => todo!(),
+        2 => unimplemented!(),
+        3 => unreachable!("guarded by the decoder"),
+        n => {
+            assert!(n < 8);
+            u64::from(n)
+        }
+    }
+}

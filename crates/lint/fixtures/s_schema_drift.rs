@@ -1,0 +1,22 @@
+//! Fixture: a schema-marked counter struct that drifted out of sync.
+//! Linted as `crates/adapt/src/fixture.rs` against docs that only know
+//! `ipc`: `brand_new_counter` is neither emitted as a JSON key (S001)
+//! nor documented (S002); `ipc` is both and stays silent.
+
+use bosim_stats::Json;
+
+/// Per-epoch demo counters.
+// bosim-lint: schema(fixture-demo)
+pub struct Demo {
+    /// Documented and emitted.
+    pub ipc: f64,
+    /// Added without updating the writer or the docs.
+    pub brand_new_counter: u64,
+}
+
+impl Demo {
+    /// The writer forgot `brand_new_counter`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([("ipc", Json::from(self.ipc))])
+    }
+}

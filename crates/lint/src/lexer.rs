@@ -1,0 +1,395 @@
+//! A small Rust-source lexer.
+//!
+//! `bosim-lint` does not parse Rust — it tokenises it. The rules the
+//! workspace needs (no `HashMap` in determinism-sensitive crates, no
+//! `unwrap()` in library code, schema-marked struct fields) are all
+//! decidable from the token stream plus brace balancing, which keeps the
+//! lint zero-dependency and fast, in the same hand-rolled spirit as the
+//! workspace's TOML-subset parser and `Json` emitter.
+//!
+//! The lexer understands everything that could *hide* a token from a
+//! naive text search: line and (nested) block comments, string literals
+//! with escapes, raw strings (`r#"…"#`), byte strings, character
+//! literals vs. lifetimes, and raw identifiers (`r#match`). Comments are
+//! kept as tokens — the pragma and schema machinery reads them.
+
+/// One lexed token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers lose their `r#`).
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct(char),
+    /// A string literal (cooked or raw; contents as written, unescaped).
+    Str(String),
+    /// A character literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal.
+    Num,
+    /// A `// …` comment (text after the slashes, untrimmed).
+    LineComment(String),
+    /// A `/* … */` comment (inner text, nesting preserved).
+    BlockComment(String),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// True for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.tok, Tok::LineComment(_) | Tok::BlockComment(_))
+    }
+}
+
+/// Tokenises `src`. The lexer is total: any byte sequence produces a
+/// token stream (unterminated literals run to end of input), so a
+/// syntactically broken file degrades to odd tokens rather than an
+/// error — the compiler, not the linter, owns syntax diagnostics.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier: r#match → match.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.quote(line),
+                c if is_ident_start(Some(c)) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(Tok::BlockComment(text), line);
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(Tok::Str(text), line);
+    }
+
+    /// At `r`/`b`: does a raw (byte) string `r#*"` start here?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push('"');
+                        for _ in 0..k {
+                            text.push('#');
+                            self.bump();
+                        }
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(Tok::Str(text), line);
+    }
+
+    fn char_lit(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Char, line);
+    }
+
+    /// At `'`: a character literal or a lifetime?
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        // `'\…'` is always a char; `'x'` (closing quote two ahead) is a
+        // char; anything else starting with an identifier char is a
+        // lifetime (`'a`, `'static`).
+        if next == Some('\\') {
+            self.char_lit(line);
+        } else if is_ident_start(next) && self.peek(2) != Some('\'') {
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.push(Tok::Lifetime, line);
+        } else {
+            self.char_lit(line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while is_ident_continue(self.peek(0)) {
+            // is_ident_continue ⇒ a char is present.
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        self.push(Tok::Ident(text), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` does not.
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some('e' | 'E'))
+            {
+                // Exponent sign: 1.5e-3.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Num, line);
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_tokens() {
+        let src = "// HashMap here\n/* and /* nested */ HashSet */\nlet x = 1;";
+        assert_eq!(idents(src), ["let", "x"]);
+        let toks = lex(src);
+        assert!(toks[0].is_comment());
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_tokens_and_raw_strings_terminate() {
+        assert_eq!(idents(r#"let s = "unwrap() inside";"#), ["let", "s"]);
+        let src = "let s = r#\"quote \" inside\"#; let t = 2;";
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+        let toks = lex("r\"raw\"");
+        assert_eq!(toks[0].tok, Tok::Str("raw".into()));
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let toks = lex(r#"("ipc", Json::from(x))"#);
+        assert!(toks.iter().any(|t| t.tok == Tok::Str("ipc".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+        // Escaped char literals and 'static lifetimes both lex.
+        let toks = lex(r"('\n', &'static str)");
+        assert!(toks.iter().any(|t| t.tok == Tok::Char));
+        assert!(toks.iter().any(|t| t.tok == Tok::Lifetime));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 1..10 {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert_eq!(lex("1.5e-3;").len(), 2); // Num, ';'
+    }
+
+    #[test]
+    fn raw_identifiers_lose_the_prefix() {
+        assert_eq!(idents("r#match"), ["match"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "/* a\nb\nc */ x";
+        let toks = lex(src);
+        assert_eq!(toks[1].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        assert_eq!(idents(r#"(b"unwrap()", b'x')"#), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,108 @@
+//! S-rules: schema-marked counter structs stay in sync with the
+//! report-JSON writers and the documented schema tables.
+//!
+//! A struct marked `// bosim-lint: schema(<label>)` declares: *every
+//! public field of this struct is part of the machine-readable report
+//! surface*. The check is deliberately lexical, matching the rest of
+//! the lint: each field name must appear (a) as a string literal in
+//! non-test library code of the same crate — the JSON key the writer
+//! emits — and (b) backtick-quoted in `docs/ARCHITECTURE.md`, where
+//! the schema tables live. Renaming a counter without updating the
+//! writer or the docs, or adding one without reporting it, fails CI.
+
+use crate::engine::SchemaStruct;
+use crate::rules::{Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cross-checks every schema struct against the JSON-key corpus and
+/// the architecture docs.
+///
+/// `strings` maps crate name → string literals seen in that crate's
+/// non-test library code; `docs` is the text of
+/// `docs/ARCHITECTURE.md` (empty when unreadable — every field then
+/// fails S002, which is the right failure mode for missing docs).
+pub fn check(
+    schemas: &[SchemaStruct],
+    strings: &BTreeMap<String, BTreeSet<String>>,
+    docs: &str,
+) -> Vec<Violation> {
+    let empty = BTreeSet::new();
+    let mut out = Vec::new();
+    for s in schemas {
+        let keys = strings.get(&s.krate).unwrap_or(&empty);
+        for field in &s.fields {
+            if !keys.contains(field) {
+                out.push(Violation {
+                    rule: Rule::S001,
+                    file: s.file.clone(),
+                    line: s.line,
+                    message: format!(
+                        "{}.{field} (schema {}) is never emitted as a JSON key in \
+                         crate `{}` — report writers must carry every counter",
+                        s.name, s.label, s.krate
+                    ),
+                });
+            }
+            if !docs.contains(&format!("`{field}`")) {
+                out.push(Violation {
+                    rule: Rule::S002,
+                    file: s.file.clone(),
+                    line: s.line,
+                    message: format!(
+                        "{}.{field} (schema {}) is missing from the docs/ARCHITECTURE.md \
+                         schema tables",
+                        s.name, s.label
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SchemaStruct {
+        SchemaStruct {
+            label: "demo".into(),
+            name: "Demo".into(),
+            krate: "adapt".into(),
+            file: "crates/adapt/src/a.rs".into(),
+            line: 3,
+            fields: vec!["ipc".into(), "cycles".into()],
+        }
+    }
+
+    #[test]
+    fn in_sync_struct_is_clean() {
+        let strings = BTreeMap::from([(
+            "adapt".to_string(),
+            BTreeSet::from(["ipc".to_string(), "cycles".to_string()]),
+        )]);
+        let docs = "| `ipc` | instructions per cycle |\n| `cycles` | measured cycles |";
+        assert!(check(&[demo()], &strings, docs).is_empty());
+    }
+
+    #[test]
+    fn missing_json_key_and_missing_docs_fire_separately() {
+        let strings = BTreeMap::from([("adapt".to_string(), BTreeSet::from(["ipc".to_string()]))]);
+        let docs = "only `ipc` is documented";
+        let v = check(&[demo()], &strings, docs);
+        let rules: Vec<Rule> = v.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, [Rule::S001, Rule::S002]);
+        assert!(v[0].message.contains("Demo.cycles"));
+    }
+
+    #[test]
+    fn keys_in_another_crate_do_not_satisfy_the_writer_check() {
+        let strings = BTreeMap::from([(
+            "bench".to_string(),
+            BTreeSet::from(["ipc".to_string(), "cycles".to_string()]),
+        )]);
+        let v = check(&[demo()], &strings, "`ipc` `cycles`");
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::S001));
+    }
+}

@@ -1,0 +1,76 @@
+//! Workspace file discovery.
+//!
+//! Walks the source trees the lint owns (`crates/`, `tests/`,
+//! `examples/`) in **sorted** directory order — the lint holds itself
+//! to its own D-rules, so its output must be byte-stable across runs
+//! and filesystems.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Returns every `.rs` file under the workspace's lintable trees, as
+/// `(workspace-relative path, contents)`, sorted by path.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading directories or files; a missing
+/// tree (e.g. no `examples/`) is skipped, not an error.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for tree in ["crates", "tests", "examples"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            visit(&dir, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn visit(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // `target/` can appear inside crate dirs on some setups.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            visit(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = relative(&path, root);
+            let contents = fs::read_to_string(&path)?;
+            out.push((rel, contents));
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated rendering of `path`.
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace_sorted() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_sources(&root).expect("workspace readable");
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"crates/lint/src/walk.rs"), "{paths:?}");
+        assert!(paths.contains(&"tests/tests/golden_stats.rs"));
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted, "walk order must be deterministic");
+    }
+}

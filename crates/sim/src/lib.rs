@@ -35,7 +35,6 @@
 //! [`PrefetcherSpec`] and calling [`registry()`]`.register(..)` — see the
 //! [`registry`] module docs for a complete third-party example.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

@@ -184,7 +184,7 @@ impl PrefetcherRegistry {
     /// registration under the same name replaces the earlier one.
     pub fn register(&self, name: &str, handle: PrefetcherHandle) {
         let key = name.to_ascii_lowercase();
-        let mut e = self.entries.lock().expect("registry poisoned");
+        let mut e = self.entries.lock().expect("registry poisoned"); // bosim-lint: allow(P002, registry mutex poisons only if registration panicked)
         e.named.retain(|(n, _)| *n != key);
         e.named.push((key, handle));
     }
@@ -192,7 +192,7 @@ impl PrefetcherRegistry {
     /// Registers a resolver for a parameterised name family. `pattern` is
     /// purely documentation (shown by [`names`](Self::names)).
     pub fn register_resolver(&self, pattern: &str, resolver: PrefetcherResolver) {
-        let mut e = self.entries.lock().expect("registry poisoned");
+        let mut e = self.entries.lock().expect("registry poisoned"); // bosim-lint: allow(P002, registry mutex poisons only if registration panicked)
         e.resolvers.push((pattern.to_string(), resolver));
     }
 
@@ -221,7 +221,7 @@ impl PrefetcherRegistry {
     pub fn resolve(&self, name: &str) -> Result<PrefetcherHandle, ResolveError> {
         let key = name.trim().to_ascii_lowercase();
         let resolvers: Vec<(String, PrefetcherResolver)> = {
-            let e = self.entries.lock().expect("registry poisoned");
+            let e = self.entries.lock().expect("registry poisoned"); // bosim-lint: allow(P002, registry mutex poisons only if registration panicked)
             if let Some((_, h)) = e.named.iter().rev().find(|(n, _)| *n == key) {
                 return Ok(h.clone());
             }
@@ -287,7 +287,7 @@ impl PrefetcherRegistry {
 
     /// All registered names and resolver patterns, registration order.
     pub fn names(&self) -> Vec<String> {
-        let e = self.entries.lock().expect("registry poisoned");
+        let e = self.entries.lock().expect("registry poisoned"); // bosim-lint: allow(P002, registry mutex poisons only if registration panicked)
         e.named
             .iter()
             .map(|(n, _)| n.clone())

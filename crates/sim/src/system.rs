@@ -143,14 +143,14 @@ impl System {
     /// [`bosim_trace::ExternalSpec::load`].
     pub fn new(cfg: &SimConfig, bench: &BenchmarkSpec) -> Self {
         if let Err(e) = cfg.validate() {
-            panic!("invalid SimConfig: {e}");
+            panic!("invalid SimConfig: {e}"); // bosim-lint: allow(P003, documented Panics contract; run_jobs converts to RunnerError)
         }
         let mut cores = Vec::new();
         for i in 0..cfg.active_cores {
             let trace: Box<dyn bosim_trace::TraceSource> = if i == 0 {
                 let src = match bench.source() {
                     Ok(src) => src,
-                    Err(e) => panic!("cannot load benchmark {}: {e}", bench.name),
+                    Err(e) => panic!("cannot load benchmark {}: {e}", bench.name), // bosim-lint: allow(P003, documented Panics contract; run_jobs converts to RunnerError)
                 };
                 match cfg.sample {
                     Some(spec) if !spec.is_passthrough() => {

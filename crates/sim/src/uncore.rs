@@ -355,7 +355,7 @@ impl Uncore {
             other => self
                 .l3_prefetcher
                 .as_mut()
-                .expect("checked non-empty above")
+                .expect("checked non-empty above") // bosim-lint: allow(P002, peeked non-empty above)
                 .reconfigure(other),
         }
     }
@@ -818,7 +818,7 @@ impl Uncore {
                 return;
             }
         }
-        let entry = self.l3_fq.pop_ready().expect("peeked above");
+        let entry = self.l3_fq.pop_ready().expect("peeked above"); // bosim-lint: allow(P002, pop follows a successful peek_ready)
         let demand = entry.class == ReqClass::Demand;
         // Mandatory tag check: no duplicates (§5.4).
         if !self.l3.contains(entry.line) {

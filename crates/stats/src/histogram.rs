@@ -71,7 +71,7 @@ impl Histogram {
 
     /// Samples that landed in the overflow bucket.
     pub fn overflow(&self) -> u64 {
-        *self.buckets.last().expect("bucket vec non-empty")
+        *self.buckets.last().expect("bucket vec non-empty") // bosim-lint: allow(P002, bucket vec is sized non-empty at construction)
     }
 
     /// Approximate p-th percentile (p in 0..=100) using bucket lower

@@ -20,7 +20,6 @@
 //! assert_eq!(speedup(1.2, 1.0), 1.2);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod histogram;

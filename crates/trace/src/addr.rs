@@ -119,7 +119,7 @@ pub fn parse_text(reader: impl Read) -> Result<Vec<RawAccess>, AddrTraceError> {
             continue;
         }
         let mut parts = body.split_whitespace();
-        let tag = parts.next().expect("non-empty body has a first token");
+        let tag = parts.next().expect("non-empty body has a first token"); // bosim-lint: allow(P002, body checked non-empty before tokenising)
         let dir = match tag {
             "R" | "r" => AccessDir::Read,
             "W" | "w" => AccessDir::Write,

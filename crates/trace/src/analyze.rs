@@ -3,11 +3,17 @@
 //! Answers the questions the paper's §3 asks of a workload before
 //! choosing a prefetcher: what is the instruction mix, which line-stride
 //! patterns appear (and with what period), and how large is the touched
-//! working set. Used by the examples and by tests validating that the
-//! synthetic suite exhibits the patterns it claims to.
+//! working set. Used by the examples, by `bosim inspect`, and by tests
+//! validating that the synthetic suite exhibits the patterns it claims
+//! to.
+//!
+//! Everything here renders into user-visible `inspect` output, so the
+//! module is determinism-sensitive (lint rule D001): all aggregation
+//! uses ordered containers, making the output byte-stable across runs —
+//! equal-count entries tie-break by ascending key, never by hash order.
 
 use crate::record::{MicroOp, UopKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Instruction-mix and memory-behaviour summary of a trace window.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -51,9 +57,9 @@ impl TraceSummary {
 /// Summarises a µop window.
 pub fn summarize(uops: &[MicroOp]) -> TraceSummary {
     let mut s = TraceSummary::default();
-    let mut lines = std::collections::HashSet::new();
-    let mut pages = std::collections::HashSet::new();
-    let mut code = std::collections::HashSet::new();
+    let mut lines = std::collections::BTreeSet::new();
+    let mut pages = std::collections::BTreeSet::new();
+    let mut code = std::collections::BTreeSet::new();
     for u in uops {
         s.uops += 1;
         code.insert(u.pc >> 6);
@@ -101,15 +107,15 @@ pub struct StridePattern {
 pub fn stride_patterns(uops: &[MicroOp], min_count: u64) -> Vec<StridePattern> {
     struct PcState {
         last: u64,
-        strides: HashMap<i64, u64>,
+        strides: BTreeMap<i64, u64>,
         count: u64,
     }
-    let mut per_pc: HashMap<u64, PcState> = HashMap::new();
+    let mut per_pc: BTreeMap<u64, PcState> = BTreeMap::new();
     for u in uops {
         let Some(m) = u.mem else { continue };
         let e = per_pc.entry(u.pc).or_insert(PcState {
             last: m.vaddr.0,
-            strides: HashMap::new(),
+            strides: BTreeMap::new(),
             count: 0,
         });
         if e.count > 0 {
@@ -141,6 +147,8 @@ pub fn stride_patterns(uops: &[MicroOp], min_count: u64) -> Vec<StridePattern> {
             }
         })
         .collect();
+    // Stable sort over the PC-ordered map: equal counts keep ascending
+    // PC order, so the ranking is reproducible byte for byte.
     out.sort_by_key(|p| std::cmp::Reverse(p.count));
     out
 }
@@ -151,8 +159,8 @@ pub fn stride_patterns(uops: &[MicroOp], min_count: u64) -> Vec<StridePattern> {
 /// tracked per region like the stream detectors of §2 do). Returns
 /// `(line_stride, occurrences)` sorted by decreasing occurrence.
 pub fn line_stride_histogram(uops: &[MicroOp], region_shift: u32) -> Vec<(i64, u64)> {
-    let mut hist: HashMap<i64, u64> = HashMap::new();
-    let mut last: HashMap<u64, u64> = HashMap::new();
+    let mut hist: BTreeMap<i64, u64> = BTreeMap::new();
+    let mut last: BTreeMap<u64, u64> = BTreeMap::new();
     for u in uops {
         let Some(m) = u.mem else { continue };
         let line = m.vaddr.0 >> 6;
@@ -165,6 +173,8 @@ pub fn line_stride_histogram(uops: &[MicroOp], region_shift: u32) -> Vec<(i64, u
         last.insert(region, line);
     }
     let mut out: Vec<(i64, u64)> = hist.into_iter().collect();
+    // Stable sort over stride-ordered entries: ties rank by ascending
+    // stride.
     out.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     out
 }
@@ -252,6 +262,46 @@ mod tests {
             top.contains(&3) && top.contains(&2),
             "expected the 3/2 line strides near the top: {top:?}"
         );
+    }
+
+    #[test]
+    fn analysis_output_is_byte_stable() {
+        // Regression: these tables feed `bosim inspect`, whose output
+        // must be identical across runs. HashMap aggregation made the
+        // rendering depend on per-process hash seeds; the ordered
+        // containers pin it down. Two independent analyses of the same
+        // window must render byte-identically, and equal-count entries
+        // must rank by ascending key.
+        let spec = suite::benchmark("403").expect("gcc-like exists");
+        let uops = capture(&mut spec.build(), 60_000);
+        let render = |uops: &[MicroOp]| {
+            let mut s = String::new();
+            for p in stride_patterns(uops, 16) {
+                s.push_str(&format!(
+                    "{:x} {} {:.4} {}\n",
+                    p.pc, p.stride, p.regularity, p.count
+                ));
+            }
+            for (stride, n) in line_stride_histogram(uops, 22) {
+                s.push_str(&format!("{stride} {n}\n"));
+            }
+            s
+        };
+        assert_eq!(render(&uops), render(&uops));
+
+        let pats = stride_patterns(&uops, 16);
+        for w in pats.windows(2) {
+            if w[0].count == w[1].count {
+                assert!(w[0].pc < w[1].pc, "ties must rank by ascending PC");
+            }
+        }
+        let hist = line_stride_histogram(&uops, 22);
+        for w in hist.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+            if w[0].1 == w[1].1 {
+                assert!(w[0].0 < w[1].0, "ties must rank by ascending stride");
+            }
+        }
     }
 
     #[test]

@@ -170,7 +170,7 @@ impl ChampSimRecord {
                 }),
             }
         };
-        let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+        let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes")); // bosim-lint: allow(P002, caller slices exactly 8 bytes)
         let mut dest_mem = [0u64; NUM_DEST_MEM];
         for (i, m) in dest_mem.iter_mut().enumerate() {
             *m = u64_at(16 + i * 8);
@@ -372,14 +372,14 @@ pub fn encode(uops: &[MicroOp]) -> Vec<u8> {
                     if loads == NUM_SRC_MEM {
                         break;
                     }
-                    rec.src_mem[loads] = u.mem.expect("guarded").vaddr.0;
+                    rec.src_mem[loads] = u.mem.expect("guarded").vaddr.0; // bosim-lint: allow(P002, loads counted only for uops with mem info)
                     loads += 1;
                 }
                 UopKind::Store if u.mem.is_some() => {
                     if stores == NUM_DEST_MEM {
                         break;
                     }
-                    rec.dest_mem[stores] = u.mem.expect("guarded").vaddr.0;
+                    rec.dest_mem[stores] = u.mem.expect("guarded").vaddr.0; // bosim-lint: allow(P002, stores counted only for uops with mem info)
                     stores += 1;
                 }
                 k if k.is_branch() => {

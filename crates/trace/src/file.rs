@@ -160,7 +160,7 @@ impl<'a> Reader<'a> {
         debug_assert!(self.buf.len() >= N, "caller checks remaining()");
         let (head, tail) = self.buf.split_at(N);
         self.buf = tail;
-        head.try_into().expect("split_at(N) yields N bytes")
+        head.try_into().expect("split_at(N) yields N bytes") // bosim-lint: allow(P002, split_at(N) yields exactly N bytes)
     }
 
     fn u8(&mut self) -> u8 {

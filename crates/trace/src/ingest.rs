@@ -278,6 +278,7 @@ impl ExternalSpec {
             meta.modified().ok(),
         );
         let cache = CACHE.get_or_init(Default::default);
+        // bosim-lint: allow(P002, cache mutex poisons only if a decode panicked)
         if let Some(hit) = cache.lock().expect("trace cache poisoned").get(&key) {
             return Ok(Arc::clone(hit));
         }
@@ -314,7 +315,7 @@ impl ExternalSpec {
         let uops = Arc::new(uops);
         cache
             .lock()
-            .expect("trace cache poisoned")
+            .expect("trace cache poisoned") // bosim-lint: allow(P002, cache mutex poisons only if a decode panicked)
             .insert(key, Arc::clone(&uops));
         Ok(uops)
     }

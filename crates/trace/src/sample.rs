@@ -156,7 +156,7 @@ impl<S: TraceSource> SampledSource<S> {
     /// errors; reaching here with a bad plan is a programming error.
     pub fn new(inner: S, spec: SampleSpec) -> Self {
         if let Err(e) = spec.validate() {
-            panic!("invalid SampleSpec: {e}");
+            panic!("invalid SampleSpec: {e}"); // bosim-lint: allow(P003, documented Panics contract; SampleSpec::validate is checked by config layers)
         }
         SampledSource {
             inner,

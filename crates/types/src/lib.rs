@@ -27,7 +27,6 @@
 //! assert_eq!(next.unwrap().0, line.0 + 3);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod addr;
