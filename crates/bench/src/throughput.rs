@@ -158,10 +158,9 @@ fn total_muops_per_sec(ms: &[&ThroughputMeasurement]) -> f64 {
 /// The `speedup` row's `TOTAL` cell is the headline number: optimized
 /// over naive aggregate sim-cycles/sec.
 pub fn throughput_report(base: &SimConfig, pairs: &[ThroughputPair]) -> Report {
-    let mut benchmarks: Vec<String> = pairs
-        .iter()
-        .map(|p| crate::short_label(&p.naive.benchmark))
-        .collect();
+    // Full benchmark names: a bare numeric prefix ("462") reads as a
+    // data point in a throughput table, not a label.
+    let mut benchmarks: Vec<String> = pairs.iter().map(|p| p.naive.benchmark.clone()).collect();
     benchmarks.push("TOTAL".to_string());
 
     let naive: Vec<&ThroughputMeasurement> = pairs.iter().map(|p| &p.naive).collect();

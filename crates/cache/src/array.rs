@@ -152,6 +152,15 @@ impl CacheArray {
         Some(HitInfo { way, was_prefetch })
     }
 
+    /// Counts the resident lines whose prefetch bit is still set —
+    /// prefetched blocks that have not yet served a demand request. A
+    /// pure scan of the tag/status store (no replacement or prefetch
+    /// state changes), sampled by the observability layer at epoch
+    /// boundaries as a cache-pollution gauge.
+    pub fn prefetched_lines(&self) -> u64 {
+        self.meta.iter().filter(|m| m.valid && m.prefetch).count() as u64
+    }
+
     /// Re-reads the prefetch bit of a resident line without touching
     /// replacement state (used by prefetchers observing L2 state).
     pub fn prefetch_bit(&self, line: LineAddr) -> Option<bool> {
@@ -282,6 +291,20 @@ mod tests {
         assert!(c.insert(line, false, false, ctx()).is_none());
         let hit = c.access(line, false).unwrap();
         assert!(!hit.was_prefetch);
+    }
+
+    #[test]
+    fn prefetched_lines_gauge_tracks_bits_not_residency() {
+        let mut c = small_cache();
+        assert_eq!(c.prefetched_lines(), 0);
+        c.insert(LineAddr(1), true, false, ctx());
+        c.insert(LineAddr(2), true, false, ctx());
+        c.insert(LineAddr(3), false, false, ctx());
+        assert_eq!(c.prefetched_lines(), 2);
+        // A demand hit clears the bit; the gauge follows.
+        c.access(LineAddr(1), false);
+        assert_eq!(c.prefetched_lines(), 1);
+        assert_eq!(c.occupancy(), 3);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! subcommand validates its own option names so typos are reported with
 //! the accepted set.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A usage error: unknown option, missing value, bad number, ...
@@ -28,6 +28,7 @@ impl std::error::Error for UsageError {}
 pub struct ParsedArgs {
     positionals: Vec<String>,
     options: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
 }
 
 impl ParsedArgs {
@@ -39,6 +40,23 @@ impl ParsedArgs {
     /// message lists the accepted set) or a trailing option with no
     /// value.
     pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self, UsageError> {
+        Self::parse_with_flags(args, allowed, &[])
+    }
+
+    /// Parses `args` like [`parse`](Self::parse), but additionally
+    /// accepts the names in `flags` as value-less boolean switches
+    /// (`--events`), queried with [`flag`](Self::flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UsageError`] for an option outside `allowed` ∪
+    /// `flags`, a valued option with no value, or a flag given an
+    /// inline value (`--events=yes`).
+    pub fn parse_with_flags(
+        args: &[String],
+        allowed: &[&str],
+        flags: &[&str],
+    ) -> Result<Self, UsageError> {
         let mut out = ParsedArgs::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -47,12 +65,22 @@ impl ParsedArgs {
                     Some((k, v)) => (k.to_string(), Some(v.to_string())),
                     None => (body.to_string(), None),
                 };
+                if flags.contains(&key.as_str()) {
+                    if let Some(v) = inline_value {
+                        return Err(UsageError(format!(
+                            "option --{key} is a flag and takes no value (got {v:?})"
+                        )));
+                    }
+                    out.flags.insert(key);
+                    continue;
+                }
                 if !allowed.contains(&key.as_str()) {
                     return Err(UsageError(format!(
                         "unknown option --{key} (accepted: {})",
                         allowed
                             .iter()
                             .map(|o| format!("--{o}"))
+                            .chain(flags.iter().map(|o| format!("--{o}")))
                             .collect::<Vec<_>>()
                             .join(", ")
                     )));
@@ -94,6 +122,11 @@ impl ParsedArgs {
     /// The value of option `key`, if given.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether the boolean flag `key` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
     }
 
     /// A required option.
@@ -172,5 +205,27 @@ mod tests {
     fn last_occurrence_wins() {
         let p = ParsedArgs::parse(&strs(&["--n", "1", "--n", "2"]), &["n"]).unwrap();
         assert_eq!(p.get("n"), Some("2"));
+    }
+
+    #[test]
+    fn flags_take_no_value_and_do_not_swallow_the_next_argument() {
+        let p = ParsedArgs::parse_with_flags(
+            &strs(&["--events", "--stack", "l2:bo"]),
+            &["stack"],
+            &["events", "profile"],
+        )
+        .unwrap();
+        assert!(p.flag("events"));
+        assert!(!p.flag("profile"));
+        assert_eq!(p.get("stack"), Some("l2:bo"));
+        // An inline value on a flag is a usage error, not silently
+        // ignored truthiness.
+        let err =
+            ParsedArgs::parse_with_flags(&strs(&["--events=yes"]), &[], &["events"]).unwrap_err();
+        assert!(err.0.contains("takes no value"), "{err}");
+        // Unknown-option messages list flags alongside valued options.
+        let err =
+            ParsedArgs::parse_with_flags(&strs(&["--evens"]), &["stack"], &["events"]).unwrap_err();
+        assert!(err.0.contains("--events"), "{err}");
     }
 }

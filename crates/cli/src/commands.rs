@@ -1,10 +1,12 @@
-//! The `bosim` subcommands: `run`, `sweep`, `inspect`, `gen`.
+//! The `bosim` subcommands: `run`, `sweep`, `inspect`, `gen`, `trace`,
+//! `check-trace`.
 
 use crate::args::{ParsedArgs, UsageError};
 use crate::corpus::{self, Corpus};
-use bosim::{SimConfig, SimConfigBuilder};
+use bosim::{SimConfig, SimConfigBuilder, System};
 use bosim_bench::{Experiment, Report};
-use bosim_stats::{Align, Table};
+use bosim_obs::{perfetto, ObsConfig, ObsReport};
+use bosim_stats::{Align, Json, Table};
 use bosim_trace::{
     addr, analyze, capture, champsim, file, suite, BenchmarkSpec, ExternalSpec, SampleSpec,
     TraceFormat,
@@ -46,8 +48,10 @@ bosim — trace-driven Best-Offset prefetching simulator
 USAGE:
   bosim run --trace FILE [--stack STACK] [options]   replay one trace
   bosim sweep --corpus FILE [options]                run a (trace x stack) grid
-  bosim inspect FILE [--format F] [--uops N]         summarise a trace
+  bosim inspect FILE [--format F] [--uops N] [--json] summarise a trace
   bosim gen --bench ID --out FILE [options]          write a synthetic trace
+  bosim trace --trace FILE --out FILE [options]      replay + Perfetto export
+  bosim check-trace FILE                             validate trace-event JSON
 
 RUN OPTIONS:
   --trace FILE          the trace to replay (required)
@@ -66,6 +70,9 @@ RUN OPTIONS:
   --report NAME         report id / JSON file stem (default: run_<name>)
   --out DIR             report directory (default BOSIM_REPORT_DIR or target/reports)
   --threads N           worker threads
+  --events              also record an event trace: writes <report>.trace.json
+                        (Perfetto) and <report>.epochs.jsonl next to the report
+  --profile             also profile the host: writes <report>.profile.json
 
 SWEEP OPTIONS:
   --corpus FILE         the corpus manifest (see docs/TRACES.md)
@@ -77,7 +84,14 @@ GEN OPTIONS:
   --out FILE            output path (required)
   --format F            native | champsim | addr-text | addr-bin (default: native)
 
-Formats, sampling semantics and a worked walkthrough: docs/TRACES.md.
+TRACE OPTIONS:
+  --out FILE            Perfetto/Chrome trace-event JSON output path (required)
+  plus the run machine options (--trace, --format, --name, --stack, --cores,
+  --page, --instructions, --warmup, --skip, --window, --interval); the replay
+  runs with full observability (events, epoch metrics, host profile).
+
+Formats, sampling semantics and a worked walkthrough: docs/TRACES.md;
+the event catalogue and export schemas: docs/OBSERVABILITY.md.
 ";
 
 /// Entry point: dispatches `args` (without the program name).
@@ -93,13 +107,15 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("check-trace") => cmd_check_trace(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(CliError::Usage(format!(
-            "unknown command {other:?} (expected run, sweep, inspect or gen; \
-             see bosim --help)"
+            "unknown command {other:?} (expected run, sweep, inspect, gen, \
+             trace or check-trace; see bosim --help)"
         ))),
         None => Err(CliError::Usage(format!("no command given\n\n{USAGE}"))),
     }
@@ -237,8 +253,28 @@ fn sanitize_id(name: &str) -> String {
     out
 }
 
+/// Replays `bench` once on `cfg` with the given observability switches
+/// and returns the collected report.
+fn instrumented_run(
+    mut cfg: SimConfig,
+    bench: &BenchmarkSpec,
+    obs: ObsConfig,
+) -> Result<ObsReport, CliError> {
+    cfg.obs = obs;
+    System::new(&cfg, bench).run().obs.ok_or_else(|| {
+        CliError::Failed("instrumented run produced no observability report".to_string())
+    })
+}
+
+fn write_artifact(path: &Path, text: &str) -> Result<(), CliError> {
+    std::fs::write(path, text)
+        .map_err(|e| CliError::Failed(format!("cannot write {}: {e}", path.display())))?;
+    eprintln!("[bosim] wrote {}", path.display());
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
-    let p = ParsedArgs::parse(
+    let p = ParsedArgs::parse_with_flags(
         args,
         &[
             "trace",
@@ -257,6 +293,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "out",
             "threads",
         ],
+        &["events", "profile"],
     )?;
     no_positionals(&p, "run")?;
     let trace = p.require("trace")?;
@@ -284,7 +321,21 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         .map(str::to_string)
         .unwrap_or_else(|| format!("run_{}", sanitize_id(&bench.name)));
     let title = format!("{} on {}", subject.label(), bench.name);
-    let mut e = Experiment::new(report_name, title).benchmarks(vec![bench]);
+
+    // With --events / --profile, the measured experiment is followed by
+    // one instrumented replay of the subject configuration: the extra
+    // run keeps observability out of the timing-sensitive experiment
+    // workers, and the golden-stats invariant guarantees it reproduces
+    // the measured counters exactly.
+    let obs_artifacts = (p.flag("events") || p.flag("profile")).then(|| {
+        let dir = p
+            .get("out")
+            .map(PathBuf::from)
+            .unwrap_or_else(Report::default_dir);
+        (dir, subject.clone(), bench.clone(), title.clone())
+    });
+
+    let mut e = Experiment::new(report_name.clone(), title).benchmarks(vec![bench]);
     e = match p.get("baseline") {
         Some(baseline) => e.arm_vs(
             p.get("stack").unwrap_or("default").to_string(),
@@ -296,7 +347,146 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if let Some(t) = p.get_u64("threads")? {
         e = e.threads(t as usize);
     }
-    emit(e, p.get("out"))
+    emit(e, p.get("out"))?;
+
+    if let Some((dir, cfg, bench, title)) = obs_artifacts {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::Failed(format!("cannot create {}: {e}", dir.display())))?;
+        let events = p.flag("events");
+        let obs = ObsConfig {
+            events,
+            epochs: events,
+            epoch_stream: events.then(|| dir.join(format!("{report_name}.epochs.jsonl"))),
+            profile: p.flag("profile"),
+            ..ObsConfig::default()
+        };
+        let report = instrumented_run(cfg, &bench, obs)?;
+        if events {
+            let path = dir.join(format!("{report_name}.trace.json"));
+            write_artifact(&path, &perfetto::trace_json(&report, &title).to_string())?;
+            eprintln!(
+                "[bosim] wrote {} ({} events recorded, {} dropped, {} epochs)",
+                dir.join(format!("{report_name}.epochs.jsonl")).display(),
+                report.events.len(),
+                report.dropped_events,
+                report.epochs.len(),
+            );
+        }
+        if let Some(profile) = &report.profile.0 {
+            let path = dir.join(format!("{report_name}.profile.json"));
+            write_artifact(&path, &profile.to_json().to_pretty())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(
+        args,
+        &[
+            "trace",
+            "format",
+            "name",
+            "stack",
+            "cores",
+            "page",
+            "instructions",
+            "warmup",
+            "skip",
+            "window",
+            "interval",
+            "out",
+        ],
+    )?;
+    no_positionals(&p, "trace")?;
+    let trace = p.require("trace")?;
+    let out = PathBuf::from(p.require("out")?);
+    let ext = external_spec(Path::new(trace), p.get("format"), p.get("name"))?;
+    ext.load()
+        .map_err(|e| CliError::Failed(format!("cannot ingest {trace}: {e}")))?;
+    let bench = BenchmarkSpec::from_trace(ext);
+    let machine = MachineParams {
+        cores: p.get_u64("cores")?,
+        page: p.get("page").map(parse_page).transpose()?,
+        instructions: p.get_u64("instructions")?,
+        warmup: p.get_u64("warmup")?,
+        sample: sample_spec(
+            p.get_u64("skip")?,
+            p.get_u64("window")?,
+            p.get_u64("interval")?,
+        ),
+    };
+    let subject = machine.configure(p.get("stack"))?;
+    let title = format!("{} on {}", subject.label(), bench.name);
+    let report = instrumented_run(subject, &bench, ObsConfig::all())?;
+    write_artifact(&out, &perfetto::trace_json(&report, &title).to_string())?;
+    println!(
+        "{}: {} events recorded ({} dropped), {} epochs, host profile {}",
+        out.display(),
+        report.events.len(),
+        report.dropped_events,
+        report.epochs.len(),
+        if report.profile.0.is_some() {
+            "attached"
+        } else {
+            "absent"
+        },
+    );
+    Ok(())
+}
+
+/// Structural validation of a Chrome/Perfetto trace-event document:
+/// a `traceEvents` array whose elements carry a string `name` and `ph`,
+/// and (for non-metadata events) numeric `ts`, `pid` and `tid`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural
+/// violation.
+pub fn check_trace_events(doc: &Json) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| "missing top-level \"traceEvents\" key".to_string())?;
+    let arr = events
+        .as_arr()
+        .ok_or_else(|| "\"traceEvents\" is not an array".to_string())?;
+    for (i, e) in arr.iter().enumerate() {
+        for key in ["name", "ph"] {
+            if e.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("event {i}: missing string {key:?}"));
+            }
+        }
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or_default();
+        // Metadata records ("M") carry no timestamp; everything else
+        // must be placeable on a track.
+        let required: &[&str] = if ph == "M" {
+            &["pid", "tid"]
+        } else {
+            &["ts", "pid", "tid"]
+        };
+        for key in required {
+            if !e.get(key).is_some_and(Json::is_number) {
+                return Err(format!("event {i} (ph {ph:?}): missing numeric {key:?}"));
+            }
+        }
+    }
+    Ok(arr.len())
+}
+
+fn cmd_check_trace(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, &[])?;
+    let [path] = p.positionals() else {
+        return Err(CliError::Usage(
+            "check-trace takes exactly one trace-event JSON file argument".to_string(),
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?;
+    let doc =
+        Json::parse(&text).map_err(|e| CliError::Failed(format!("{path}: not valid JSON: {e}")))?;
+    let n = check_trace_events(&doc).map_err(|m| CliError::Failed(format!("{path}: {m}")))?;
+    println!("{path}: valid trace-event JSON ({n} events)");
+    Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
@@ -360,7 +550,7 @@ pub fn sweep_experiment(corpus: &Corpus) -> Result<Experiment, CliError> {
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
-    let p = ParsedArgs::parse(args, &["format", "uops"])?;
+    let p = ParsedArgs::parse_with_flags(args, &["format", "uops"], &["json"])?;
     let [path] = p.positionals() else {
         return Err(CliError::Usage(
             "inspect takes exactly one trace file argument".to_string(),
@@ -374,6 +564,53 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     let n = p.get_u64("uops")?.unwrap_or(1_000_000).min(lap as u64) as usize;
     let uops = capture(&mut src, n);
     let s = analyze::summarize(&uops);
+    let pats = analyze::stride_patterns(&uops, 64.max(n as u64 / 1000));
+    let hist = analyze::line_stride_histogram(&uops, 22);
+
+    if p.flag("json") {
+        let doc = Json::obj([
+            ("name", Json::from(ext.name.as_str())),
+            ("format", Json::from(ext.format.to_string())),
+            ("lap_uops", Json::UInt(lap as u64)),
+            (
+                "summary",
+                Json::obj([
+                    ("uops", Json::UInt(s.uops)),
+                    ("loads", Json::UInt(s.loads)),
+                    ("stores", Json::UInt(s.stores)),
+                    ("branches", Json::UInt(s.branches)),
+                    ("taken_branches", Json::UInt(s.taken_branches)),
+                    ("fp_ops", Json::UInt(s.fp_ops)),
+                    ("load_ratio", Json::Num(s.load_ratio())),
+                    ("data_footprint_bytes", Json::UInt(s.data_footprint_bytes())),
+                    ("distinct_pages", Json::UInt(s.distinct_pages)),
+                    ("code_lines", Json::UInt(s.code_lines)),
+                ]),
+            ),
+            (
+                "stride_patterns",
+                Json::arr(pats.iter().map(|pat| {
+                    Json::obj([
+                        ("pc", Json::UInt(pat.pc)),
+                        ("stride", Json::Int(pat.stride)),
+                        ("regularity", Json::Num(pat.regularity)),
+                        ("count", Json::UInt(pat.count)),
+                    ])
+                })),
+            ),
+            (
+                "line_stride_histogram",
+                Json::arr(hist.iter().map(|&(stride, count)| {
+                    Json::obj([
+                        ("line_stride", Json::Int(stride)),
+                        ("occurrences", Json::UInt(count)),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.to_pretty());
+        return Ok(());
+    }
 
     println!("# {} ({} format)", ext.name, ext.format);
     let mut t = Table::new(["property", "value"]);
@@ -394,7 +631,6 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     t.row(["code lines".to_string(), s.code_lines.to_string()]);
     println!("{t}");
 
-    let pats = analyze::stride_patterns(&uops, 64.max(n as u64 / 1000));
     if !pats.is_empty() {
         println!("# top per-PC strides");
         let mut t = Table::new(["pc", "stride", "regularity", "count"]);
@@ -410,7 +646,6 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         println!("{t}");
     }
 
-    let hist = analyze::line_stride_histogram(&uops, 22);
     if !hist.is_empty() {
         println!("# top line strides (4MB regions)");
         let mut t = Table::new(["line stride", "occurrences"]);
@@ -535,5 +770,32 @@ mod tests {
     fn sanitize_makes_file_stems() {
         assert_eq!(sanitize_id("433.milc-like"), "433_milc_like");
         assert_eq!(sanitize_id(""), "t");
+    }
+
+    #[test]
+    fn check_trace_events_accepts_the_format_and_names_violations() {
+        let good = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"x"}},
+                {"name":"prefetch_issued","ph":"i","ts":10,"pid":1,"tid":2,"args":{}}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(check_trace_events(&good), Ok(2));
+
+        let top = Json::parse(r#"{"events":[]}"#).unwrap();
+        assert!(check_trace_events(&top)
+            .unwrap_err()
+            .contains("traceEvents"));
+        // A non-metadata event without a timestamp is a violation; the
+        // same record as metadata is fine.
+        let no_ts =
+            Json::parse(r#"{"traceEvents":[{"name":"e","ph":"i","pid":1,"tid":2}]}"#).unwrap();
+        assert!(check_trace_events(&no_ts).unwrap_err().contains("ts"));
+        let meta =
+            Json::parse(r#"{"traceEvents":[{"name":"e","ph":"M","pid":1,"tid":2}]}"#).unwrap();
+        assert_eq!(check_trace_events(&meta), Ok(1));
+        let bad_name = Json::parse(r#"{"traceEvents":[{"name":7,"ph":"i"}]}"#).unwrap();
+        assert!(check_trace_events(&bad_name).unwrap_err().contains("name"));
     }
 }

@@ -21,7 +21,7 @@
 //! is turned off (§4.3) — but learning continues, with `Y` itself written
 //! to the RR table on every fill (i.e. `D = 0`).
 
-use crate::iface::{AccessOutcome, CacheAccess, Prefetcher, TuneDirective};
+use crate::iface::{AccessOutcome, CacheAccess, PrefetchEvent, Prefetcher, TuneDirective};
 use crate::offsets::OffsetList;
 use crate::rr_table::RrTable;
 use bosim_types::{LineAddr, PageSize};
@@ -197,6 +197,10 @@ pub struct BestOffsetPrefetcher {
     /// throttled-off state (fills seed the RR table with `D = 0`).
     enabled: bool,
     stats: BoStats,
+    /// Buffered learning events, allocated only while an observability
+    /// sink is enabled ([`Prefetcher::set_event_sink`]); `None` — the
+    /// default — keeps the learning loop free of any event work.
+    events: Option<Vec<PrefetchEvent>>,
 }
 
 impl BestOffsetPrefetcher {
@@ -242,6 +246,7 @@ impl BestOffsetPrefetcher {
             prefetch_on: true,
             enabled: true,
             stats: BoStats::default(),
+            events: None,
         })
     }
 
@@ -325,6 +330,13 @@ impl BestOffsetPrefetcher {
             // End of a round.
             self.test_idx = 0;
             self.rounds += 1;
+            if let Some(events) = &mut self.events {
+                events.push(PrefetchEvent::RoundEnd {
+                    round: self.rounds,
+                    leader_offset: self.cfg.offsets.get(self.best_idx),
+                    leader_score: self.best_score,
+                });
+            }
             if self.saturated || self.rounds >= self.cfg.round_max {
                 self.end_phase();
             }
@@ -344,6 +356,16 @@ impl BestOffsetPrefetcher {
         self.prefetch_on = self.best_score > self.cfg.bad_score;
         if !self.prefetch_on {
             self.stats.phases_off += 1;
+        }
+        if let Some(events) = &mut self.events {
+            events.push(PrefetchEvent::PhaseEnd {
+                best_offset: self.offset,
+                best_score: self.best_score,
+                prefetch_on: self.prefetch_on,
+                scores: (0..self.scores.len())
+                    .map(|i| (self.cfg.offsets.get(i), self.scores[i]))
+                    .collect(),
+            });
         }
         self.scores.fill(0);
         self.best_idx = 0;
@@ -424,6 +446,20 @@ impl Prefetcher for BestOffsetPrefetcher {
                 true
             }
             TuneDirective::SwitchPrefetcher(_) => false,
+        }
+    }
+
+    fn set_event_sink(&mut self, enabled: bool) {
+        self.events = if enabled {
+            Some(self.events.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<PrefetchEvent>) {
+        if let Some(events) = &mut self.events {
+            out.append(events);
         }
     }
 }
@@ -828,6 +864,74 @@ mod tests {
         // Re-enabling resumes issue immediately (BADSCORE state allowing).
         assert!(p.reconfigure(&TuneDirective::SetEnabled(true)));
         assert!(p.is_enabled());
+    }
+
+    /// The observability sink: off by default (no events, no buffer),
+    /// and when on, every completed round reports its leader and every
+    /// completed phase snapshots the score table before the reset.
+    #[test]
+    fn event_sink_reports_rounds_and_phases() {
+        let cfg = BoConfig {
+            round_max: 2,
+            ..Default::default()
+        };
+        let n = cfg.offsets.len();
+        let mut p = BestOffsetPrefetcher::new(cfg, PageSize::M4);
+        // Sink off: a full phase produces nothing to drain.
+        for i in 0..2 * n as u64 {
+            access(&mut p, 1_000_000 + i * 1_000);
+        }
+        assert_eq!(p.stats().phases, 1);
+        let mut out = Vec::new();
+        p.drain_events(&mut out);
+        assert!(out.is_empty(), "no events buffered while the sink is off");
+
+        // Sink on: one phase = two RoundEnds + one PhaseEnd, in order.
+        p.set_event_sink(true);
+        let mut scored = 0u32;
+        for i in 0..2 * n as u64 {
+            if i % n as u64 == 0 {
+                // Seed the RR table so offset 1 scores this round.
+                let s = 5_000_000 + i * 1_000;
+                p.on_fill(LineAddr(s), false);
+                access(&mut p, s + 1);
+                scored += 1;
+            } else {
+                access(&mut p, 2_000_000 + i * 1_000);
+            }
+        }
+        assert_eq!(p.stats().phases, 2);
+        p.drain_events(&mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(
+            out[0],
+            PrefetchEvent::RoundEnd {
+                round: 1,
+                leader_offset: 1,
+                leader_score: 1
+            }
+        );
+        assert!(matches!(out[1], PrefetchEvent::RoundEnd { round: 2, .. }));
+        match &out[2] {
+            PrefetchEvent::PhaseEnd {
+                best_offset,
+                best_score,
+                prefetch_on,
+                scores,
+            } => {
+                assert_eq!(*best_offset, 1);
+                assert_eq!(*best_score, scored);
+                assert!(*prefetch_on);
+                assert_eq!(scores.len(), n);
+                assert_eq!(scores[0], (1, scored), "snapshot taken before reset");
+            }
+            other => panic!("expected PhaseEnd, got {other:?}"),
+        }
+        // Draining empties the buffer; disabling the sink drops it.
+        let mut again = Vec::new();
+        p.drain_events(&mut again);
+        assert!(again.is_empty());
+        p.set_event_sink(false);
     }
 
     #[test]

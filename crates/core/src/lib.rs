@@ -48,8 +48,8 @@ mod rr_table;
 
 pub use bo::{BestOffsetPrefetcher, BoConfig, BoConfigError, BoStats};
 pub use iface::{
-    AccessOutcome, CacheAccess, L1Prefetcher, L2Access, L2Prefetcher, NullPrefetcher, PrefetchSite,
-    Prefetcher, SiteDirective, TuneDirective,
+    AccessOutcome, CacheAccess, L1Prefetcher, L2Access, L2Prefetcher, NullPrefetcher,
+    PrefetchEvent, PrefetchSite, Prefetcher, SiteDirective, TuneDirective,
 };
 pub use offsets::OffsetList;
 pub use rr_table::RrTable;

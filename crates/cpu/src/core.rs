@@ -123,6 +123,23 @@ pub struct CoreStats {
     pub l1_prefetch_tlb_drops: u64,
 }
 
+/// An observability event reported by a core (the L1D prefetch site's
+/// issue path). Buffered only while a sink is enabled
+/// ([`Core::set_obs_sink`]) and drained by the simulator each cycle,
+/// which stamps cycle and core id — with the sink off (the default)
+/// the issue path does no event work at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreObsEvent {
+    /// An L1D prefetch was issued into the uncore request path.
+    L1PrefetchIssued {
+        /// Physical line address of the prefetch.
+        line: LineAddr,
+    },
+    /// A proposed L1D prefetch was dropped on the §5.5 TLB2 probe (the
+    /// target was never translated, so no line address exists).
+    L1PrefetchTlbDrop,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RegState {
     Known(Cycle),
@@ -187,6 +204,9 @@ pub struct Core {
     fp_port_ring: Vec<(Cycle, u8)>,
 
     stats: CoreStats,
+    /// Buffered observability events; `None` (the default) disables
+    /// buffering entirely.
+    obs: Option<Vec<CoreObsEvent>>,
 }
 
 impl Core {
@@ -229,6 +249,25 @@ impl Core {
             fp_port_ring: vec![(u64::MAX, 0); PORT_RING],
             stats: CoreStats::default(),
             cfg,
+            obs: None,
+        }
+    }
+
+    /// Enables or disables observability event buffering. While on,
+    /// the simulator drains with [`drain_obs`](Self::drain_obs) every
+    /// cycle it ticks this core.
+    pub fn set_obs_sink(&mut self, enabled: bool) {
+        self.obs = if enabled {
+            Some(self.obs.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// Moves any buffered [`CoreObsEvent`]s into `out`, in issue order.
+    pub fn drain_obs(&mut self, out: &mut Vec<CoreObsEvent>) {
+        if let Some(obs) = &mut self.obs {
+            out.append(obs);
         }
     }
 
@@ -454,6 +493,9 @@ impl Core {
         let page = self.translator.page_size();
         if !self.tlbs.prefetch_probe(target.page_number(page)) {
             self.stats.l1_prefetch_tlb_drops += 1;
+            if let Some(obs) = &mut self.obs {
+                obs.push(CoreObsEvent::L1PrefetchTlbDrop);
+            }
             return;
         }
         let line = self.translator.translate(target);
@@ -464,6 +506,9 @@ impl Core {
             return; // MSHR full: drop the prefetch.
         }
         self.stats.l1_prefetches += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.push(CoreObsEvent::L1PrefetchIssued { line });
+        }
         out.push(UncoreRequest::Read {
             line,
             class: ReqClass::L1Prefetch,

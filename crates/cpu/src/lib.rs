@@ -19,6 +19,6 @@ mod core;
 mod tage;
 mod tlb;
 
-pub use crate::core::{Core, CoreConfig, CoreStats, UncoreRequest};
+pub use crate::core::{Core, CoreConfig, CoreObsEvent, CoreStats, UncoreRequest};
 pub use tage::{Ittage, Tage, TageConfig};
 pub use tlb::{PageTranslator, Tlb, TlbHierarchy, PHYS_BITS};

@@ -32,20 +32,30 @@ pub struct SourceFile {
 
 /// Crates whose library code feeds `SimResult`s or report output, where
 /// rule D001 bans hash-ordered containers outright.
-pub const DETERMINISM_CRATES: [&str; 7] =
-    ["core", "cache", "cpu", "dram", "sim", "adapt", "baselines"];
+pub const DETERMINISM_CRATES: [&str; 8] = [
+    "core",
+    "cache",
+    "cpu",
+    "dram",
+    "sim",
+    "adapt",
+    "baselines",
+    "obs",
+];
 
 /// Extra library files under non-sensitive crates that still render
 /// user-visible output and must stay byte-stable (rule D001).
 pub const DETERMINISM_FILES: [&str; 1] = ["crates/trace/src/analyze.rs"];
 
 /// Library modules allowed to read wall clocks (rule D002): the bench
-/// timing path (throughput measurement is their purpose) and the decode
-/// cache (freshness metadata only, never sim state).
-pub const WALL_CLOCK_FILES: [&str; 3] = [
+/// timing path (throughput measurement is their purpose), the decode
+/// cache (freshness metadata only, never sim state), and the host
+/// profiler (wall time is its product; it never feeds sim state).
+pub const WALL_CLOCK_FILES: [&str; 4] = [
     "crates/bench/src/throughput.rs",
     "crates/bench/src/experiment.rs",
     "crates/trace/src/ingest.rs",
+    "crates/obs/src/profile.rs",
 ];
 
 impl SourceFile {

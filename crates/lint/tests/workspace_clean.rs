@@ -22,8 +22,10 @@ fn workspace_is_lint_clean() {
         "only {} files scanned — walk is broken",
         report.files_scanned
     );
-    // The three schema-marked report structs were cross-checked.
-    assert_eq!(report.schemas_checked, 3, "schema markers went missing");
+    // All schema-marked structs were cross-checked: the three report
+    // structs plus the five observability schemas (report, event,
+    // epoch, profile, profile-phase).
+    assert_eq!(report.schemas_checked, 8, "schema markers went missing");
 }
 
 #[test]

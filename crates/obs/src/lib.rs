@@ -1,0 +1,46 @@
+//! Observability layer for the `bosim` simulator.
+//!
+//! The end-of-run aggregates (`PrefetchTelemetry`, the report JSON) say
+//! *how much* happened; this crate records *when*. It provides four
+//! pieces, all zero-dependency and all inert unless switched on by an
+//! [`ObsConfig`]:
+//!
+//! * [`Recorder`] — a bounded, keep-first log of cycle-stamped
+//!   [`Event`]s covering the prefetch lifecycle (issue, fill-queue
+//!   entry, late merge, fill, first demand hit, unused eviction) and
+//!   the learning/adaptation machinery (BO round and phase ends with
+//!   score snapshots, epoch boundaries, tuning directives).
+//! * [`EpochRow`] / [`EpochStream`] — per-epoch metric snapshots
+//!   (IPC, accuracy, coverage, lateness, bus occupancy) collected as a
+//!   series and optionally streamed to a JSON-lines file while the run
+//!   is still in flight.
+//! * [`HostProfiler`] — wall-clock attribution per simulator phase
+//!   (decode, core tick, uncore tick, DRAM, fast-forward scanning),
+//!   sampled deterministically so the measurement never perturbs
+//!   simulated state. This is the only module in the workspace outside
+//!   `bosim-bench` allowed to read the wall clock (lint rule D002).
+//! * [`perfetto`] — rendering of all of the above as Chrome/Perfetto
+//!   trace-event JSON (`chrome://tracing`, <https://ui.perfetto.dev>).
+//!
+//! Everything that lands in a `SimResult` ([`ObsReport`]) is a pure
+//! function of simulated state, so golden-stats equality between the
+//! naive and fast-forwarding system loops extends to the event trace.
+//! The one exception — the host profile — is quarantined behind
+//! [`ProfileSlot`], whose `PartialEq` ignores wall-clock data.
+
+#![warn(missing_docs)]
+
+mod config;
+mod epoch;
+mod event;
+mod log;
+pub mod perfetto;
+mod profile;
+mod report;
+
+pub use config::ObsConfig;
+pub use epoch::{EpochRow, EpochStream};
+pub use event::{Event, EventKind, ObsSite};
+pub use log::Recorder;
+pub use profile::{HostProfile, HostProfiler, Phase, PhaseCost, PhaseTimer, ProfileSlot};
+pub use report::ObsReport;

@@ -1,0 +1,93 @@
+//! The per-run observability bundle.
+
+use crate::epoch::{to_jsonl, EpochRow};
+use crate::event::Event;
+use crate::profile::ProfileSlot;
+use bosim_stats::Json;
+
+/// Everything observability collected over one run, attached to the
+/// simulator's `SimResult`.
+///
+/// The struct derives `PartialEq`, so golden-stats equality between
+/// the naive and fast-forwarding loops extends to the event stream and
+/// the epoch series. The host profile is wall-clock data and is
+/// excluded from equality via [`ProfileSlot`].
+// bosim-lint: schema(obs-report)
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsReport {
+    /// The cycle-domain event log (empty unless event tracing was on).
+    pub events: Vec<Event>,
+    /// Events that arrived after the log filled up.
+    pub dropped_events: u64,
+    /// Per-epoch metric snapshots (empty unless epoch collection was
+    /// on).
+    pub epochs: Vec<EpochRow>,
+    /// The host profile (present only when profiling was on; never
+    /// part of equality).
+    pub profile: ProfileSlot,
+}
+
+impl ObsReport {
+    /// The epoch series as a JSON-lines document.
+    pub fn epochs_jsonl(&self) -> String {
+        to_jsonl(&self.epochs)
+    }
+
+    /// Full JSON rendering (events, epoch rows, profile).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("events", Json::arr(self.events.iter().map(Event::to_json))),
+            ("dropped_events", Json::UInt(self.dropped_events)),
+            (
+                "epochs",
+                Json::arr(self.epochs.iter().map(EpochRow::to_json)),
+            ),
+            (
+                "profile",
+                match &self.profile.0 {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, ObsSite};
+
+    #[test]
+    fn empty_report_renders() {
+        let r = ObsReport::default();
+        assert_eq!(
+            r.to_json().to_string(),
+            r#"{"events":[],"dropped_events":0,"epochs":[],"profile":null}"#
+        );
+        assert_eq!(r.epochs_jsonl(), "");
+    }
+
+    #[test]
+    fn equality_covers_events_but_not_profile() {
+        let ev = Event {
+            cycle: 5,
+            core: 0,
+            site: ObsSite::L2,
+            kind: EventKind::FirstHit { line: 9 },
+        };
+        let a = ObsReport {
+            events: vec![ev.clone()],
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.profile = ProfileSlot(Some(crate::HostProfile {
+            total_nanos: 42,
+            phases: vec![],
+        }));
+        assert_eq!(a, b, "profile must not participate in equality");
+        b.events.clear();
+        assert_ne!(a, b, "events must participate in equality");
+    }
+}

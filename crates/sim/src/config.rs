@@ -22,6 +22,7 @@ use best_offset::PrefetchSite;
 use bosim_adapt::AdaptConfig;
 use bosim_cache::policy::PolicyKind;
 use bosim_cpu::CoreConfig;
+use bosim_obs::ObsConfig;
 use bosim_trace::SampleSpec;
 use bosim_types::PageSize;
 use std::fmt;
@@ -114,6 +115,12 @@ pub struct SimConfig {
     /// thrasher streams on cores 1.. are never sampled. `None` (the
     /// default) replays the stream untouched.
     pub sample: Option<SampleSpec>,
+    /// Observability: cycle-domain event tracing, streamed epoch metric
+    /// snapshots and host-side self-profiling (see [`ObsConfig`]). The
+    /// default is everything off, which costs nothing on the hot path;
+    /// results are bit-identical with tracing on or off (the golden-stats
+    /// suite pins both arms).
+    pub obs: ObsConfig,
 }
 
 impl Default for SimConfig {
@@ -142,6 +149,7 @@ impl Default for SimConfig {
             naive_hot_path: false,
             adapt: None,
             sample: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -307,6 +315,9 @@ impl SimConfig {
                 return Err(ConfigError::InvalidSample { reason });
             }
         }
+        if let Err(reason) = self.obs.validate() {
+            return Err(ConfigError::InvalidObs { reason });
+        }
         if let Some(adapt) = &self.adapt {
             if let Err(reason) = adapt.validate() {
                 return Err(ConfigError::InvalidAdapt { reason });
@@ -392,6 +403,12 @@ pub enum ConfigError {
         /// The violated constraint.
         reason: String,
     },
+    /// The observability configuration was invalid (see
+    /// [`ObsConfig::validate`]).
+    InvalidObs {
+        /// The violated constraint.
+        reason: &'static str,
+    },
     /// A prefetcher name (an adaptive policy's candidate, or a
     /// site-qualified name given to [`SimConfigBuilder::site`]) the
     /// registry cannot resolve.
@@ -430,6 +447,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidSample { reason } => {
                 write!(f, "trace-sampling plan invalid: {reason}")
+            }
+            ConfigError::InvalidObs { reason } => {
+                write!(f, "observability configuration invalid: {reason}")
             }
             ConfigError::UnknownPrefetcher { name, reason } => {
                 write!(f, "unresolvable prefetcher {name:?}: {reason}")
@@ -624,6 +644,13 @@ impl SimConfigBuilder {
     /// measurement windows, for replaying long external traces.
     pub fn sample(mut self, sample: SampleSpec) -> Self {
         self.cfg.sample = Some(sample);
+        self
+    }
+
+    /// Sets the observability configuration (event tracing, epoch metric
+    /// streams, host-side profiling — see [`SimConfig::obs`]).
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.cfg.obs = obs;
         self
     }
 
@@ -1007,6 +1034,24 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(err.to_string().contains("sampling plan invalid"));
+    }
+
+    #[test]
+    fn builder_validates_obs_configs() {
+        let cfg = SimConfig::builder()
+            .obs(ObsConfig::all())
+            .build()
+            .expect("valid obs config");
+        assert!(cfg.obs.enabled());
+        // Event tracing with a zero-capacity buffer is rejected.
+        let bad = ObsConfig {
+            events: true,
+            max_events: 0,
+            ..Default::default()
+        };
+        let err = SimConfig::builder().obs(bad).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidObs { .. }), "{err:?}");
+        assert!(err.to_string().contains("observability"));
     }
 
     #[test]

@@ -6,8 +6,11 @@ use bosim_adapt::{
     AdaptTelemetry, DirectiveRecord, EpochFeedback, EpochRecord, PrefetchSite, SiteFeedback,
     TunePolicy,
 };
-use bosim_cpu::{Core, CoreStats, UncoreRequest};
+use bosim_cpu::{Core, CoreObsEvent, CoreStats, UncoreRequest};
 use bosim_dram::DramStats;
+use bosim_obs::{
+    EpochRow, EpochStream, Event, EventKind, HostProfiler, ObsReport, ObsSite, Phase, ProfileSlot,
+};
 use bosim_trace::{suite, BenchmarkSpec};
 use bosim_types::{CoreId, Cycle, LineAddr, ReqClass};
 
@@ -45,6 +48,13 @@ pub struct SimResult {
     /// simulation start, warm-up included) when the run was adaptive,
     /// `None` for static configurations.
     pub adapt: Option<AdaptTelemetry>,
+    /// Observability report — the cycle-domain event log, the epoch
+    /// metric series and the host profile — when any [`SimConfig::obs`]
+    /// channel was enabled, `None` otherwise. Covers the whole run
+    /// (warm-up included). Events and epochs are pure functions of
+    /// simulated state and participate in equality; the wall-clock
+    /// profile is wrapped in [`ProfileSlot`] and never compares unequal.
+    pub obs: Option<ObsReport>,
 }
 
 impl SimResult {
@@ -109,6 +119,23 @@ struct AdaptRuntime {
     telemetry: AdaptTelemetry,
 }
 
+/// The live observability epoch tracker: boundary bookkeeping plus the
+/// previous boundary's counter snapshots (the same delta discipline as
+/// [`AdaptRuntime`], so the metric series is bit-identical across the
+/// naive and fast-forwarding loops).
+#[derive(Debug)]
+struct ObsEpochRuntime {
+    epoch_cycles: u64,
+    /// End of the epoch currently accumulating.
+    next_boundary: Cycle,
+    epoch: u64,
+    rows: Vec<EpochRow>,
+    stream: EpochStream,
+    prev_retired: u64,
+    prev_l2: PrefetchTelemetry,
+    prev_dram: DramStats,
+}
+
 /// A complete simulated machine: up to four cores, private L2s, shared L3
 /// and dual-channel DRAM.
 #[derive(Debug)]
@@ -123,6 +150,13 @@ pub struct System {
     req_buf: Vec<UncoreRequest>,
     fill_buf: Vec<(CoreId, LineAddr)>,
     adapt: Option<AdaptRuntime>,
+    /// Host-side wall-clock attribution (inert unless
+    /// [`bosim_obs::ObsConfig::profile`] is set).
+    prof: HostProfiler,
+    /// Observability epoch series state (`None` = epochs off).
+    obs_rt: Option<ObsEpochRuntime>,
+    /// Scratch for draining core-side L1 observability events.
+    core_obs_buf: Vec<CoreObsEvent>,
 }
 
 impl System {
@@ -145,6 +179,12 @@ impl System {
         if let Err(e) = cfg.validate() {
             panic!("invalid SimConfig: {e}"); // bosim-lint: allow(P003, documented Panics contract; run_jobs converts to RunnerError)
         }
+        let mut prof = if cfg.obs.profile {
+            HostProfiler::new(cfg.obs.profile_sample_shift)
+        } else {
+            HostProfiler::disabled()
+        };
+        let decode_timer = prof.start(Phase::Decode);
         let mut cores = Vec::new();
         for i in 0..cfg.active_cores {
             let trace: Box<dyn bosim_trace::TraceSource> = if i == 0 {
@@ -176,6 +216,25 @@ impl System {
                 l1,
             ));
         }
+        prof.stop(decode_timer);
+        if cfg.obs.events {
+            for core in &mut cores {
+                core.set_obs_sink(true);
+            }
+        }
+        let obs_rt = cfg.obs.epochs.then(|| ObsEpochRuntime {
+            epoch_cycles: cfg.obs.epoch_cycles,
+            next_boundary: cfg.obs.epoch_cycles,
+            epoch: 0,
+            rows: Vec::new(),
+            stream: match &cfg.obs.epoch_stream {
+                Some(path) => EpochStream::create(path),
+                None => EpochStream::disabled(),
+            },
+            prev_retired: 0,
+            prev_l2: PrefetchTelemetry::default(),
+            prev_dram: DramStats::default(),
+        });
         let adapt = cfg.adapt.as_ref().map(|a| AdaptRuntime {
             epoch_cycles: a.epoch_cycles,
             next_boundary: a.epoch_cycles,
@@ -201,6 +260,9 @@ impl System {
             req_buf: Vec::with_capacity(64),
             fill_buf: Vec::with_capacity(64),
             adapt,
+            prof,
+            obs_rt,
+            core_obs_buf: Vec::new(),
             cfg: cfg.clone(),
         }
     }
@@ -244,8 +306,11 @@ impl System {
         // Uncore first: deliver due fills into the cores (may produce
         // writebacks, handled immediately).
         self.fill_buf.clear();
-        self.uncore.tick(now, &mut self.fill_buf);
+        let timer = self.prof.start(Phase::UncoreTick);
+        self.uncore.tick(now, &mut self.fill_buf, &mut self.prof);
+        self.prof.stop(timer);
         active |= !self.fill_buf.is_empty();
+        let timer = self.prof.start(Phase::CoreTick);
         for i in 0..self.fill_buf.len() {
             let (core, line) = self.fill_buf[i];
             self.req_buf.clear();
@@ -265,8 +330,36 @@ impl System {
                 self.dispatch_request(CoreId(c as u8), req, now);
             }
         }
+        self.prof.stop(timer);
+        if self.uncore.events_enabled() {
+            self.drain_core_obs(now);
+        }
         self.cycle += 1;
         active
+    }
+
+    /// Forwards the cycle's core-side L1 observability events (stride
+    /// prefetch issues, TLB drops) into the shared event log, stamped
+    /// with the cycle and owning core.
+    fn drain_core_obs(&mut self, now: Cycle) {
+        for c in 0..self.cores.len() {
+            self.core_obs_buf.clear();
+            self.cores[c].drain_obs(&mut self.core_obs_buf);
+            for ev in &self.core_obs_buf {
+                let kind = match ev {
+                    CoreObsEvent::L1PrefetchIssued { line } => {
+                        EventKind::PrefetchIssued { line: line.0 }
+                    }
+                    CoreObsEvent::L1PrefetchTlbDrop => EventKind::PrefetchDropped { line: 0 },
+                };
+                self.uncore.record_event(Event {
+                    cycle: now,
+                    core: c as u32,
+                    site: ObsSite::L1d,
+                    kind,
+                });
+            }
+        }
     }
 
     fn dispatch_request(&mut self, core: CoreId, req: UncoreRequest, now: Cycle) {
@@ -280,7 +373,7 @@ impl System {
                 self.uncore.core_read(core, line, class, ifetch, now);
             }
             UncoreRequest::Writeback { line } => {
-                self.uncore.core_writeback(core, line);
+                self.uncore.core_writeback(core, line, now);
             }
         }
     }
@@ -395,6 +488,22 @@ impl System {
                     } else {
                         ad.telemetry.rejected += 1;
                     }
+                    if self.uncore.events_enabled() {
+                        let site = match d.site {
+                            PrefetchSite::L1D => ObsSite::L1d,
+                            PrefetchSite::L2 => ObsSite::L2,
+                            PrefetchSite::L3 => ObsSite::L3,
+                        };
+                        self.uncore.record_event(Event {
+                            cycle: ad.next_boundary,
+                            core: c as u32,
+                            site,
+                            kind: EventKind::Directive {
+                                directive: d.to_string(),
+                                applied,
+                            },
+                        });
+                    }
                     records.push(DirectiveRecord {
                         directive: d.to_string(),
                         applied,
@@ -418,6 +527,90 @@ impl System {
         }
     }
 
+    /// Processes every observability epoch boundary at or before the
+    /// current cycle: compute the epoch's metric row from counter
+    /// deltas, stream it, and log the boundary event.
+    ///
+    /// Like [`adapt_epochs`](Self::adapt_epochs), this runs at the top
+    /// of the run loop, before the boundary cycle's tick; a
+    /// fast-forward jump can only land past a boundary by skipping
+    /// provably idle cycles, so the deltas (and therefore the rows and
+    /// events) are bit-identical across the naive and fast-forwarding
+    /// loops.
+    fn process_obs_epochs(&mut self) {
+        let Some(ob) = self.obs_rt.as_mut() else {
+            return;
+        };
+        while self.cycle >= ob.next_boundary {
+            let boundary = ob.next_boundary;
+            let start_cycle = boundary - ob.epoch_cycles;
+            let retired = self.cores[0].retired();
+            let l2 = self.uncore.prefetch_telemetry(CoreId(0));
+            let dram = self.uncore.dram_stats();
+            let instructions = retired - ob.prev_retired;
+            let fills = l2.prefetch_fills - ob.prev_l2.prefetch_fills;
+            let useful = l2.useful - ob.prev_l2.useful;
+            let misses = l2.misses - ob.prev_l2.misses;
+            let issued = l2.issued - ob.prev_l2.issued;
+            let late = l2.late_promotions - ob.prev_l2.late_promotions;
+            let reads = dram.reads - ob.prev_dram.reads;
+            let writes = dram.writes - ob.prev_dram.writes;
+            let busy = (reads + writes) * self.uncore.dram_line_transfer_cycles();
+            let capacity = ob.epoch_cycles * self.uncore.dram_channels() as u64;
+            let ratio = |num: u64, den: u64| {
+                if den == 0 {
+                    0.0
+                } else {
+                    num as f64 / den as f64
+                }
+            };
+            let row = EpochRow {
+                epoch: ob.epoch,
+                start_cycle,
+                cycles: ob.epoch_cycles,
+                instructions,
+                ipc: ratio(instructions, ob.epoch_cycles),
+                accuracy: ratio(useful, fills),
+                coverage: ratio(useful, useful + misses),
+                lateness: ratio(late, issued),
+                occupancy: ratio(busy, capacity),
+                l3_prefetch_resident: self.uncore.l3_prefetched_lines(),
+            };
+            ob.stream.write_row(&row);
+            ob.rows.push(row);
+            self.uncore.record_event(Event {
+                cycle: boundary,
+                core: 0,
+                site: ObsSite::Sys,
+                kind: EventKind::EpochEnd { epoch: ob.epoch },
+            });
+            ob.prev_retired = retired;
+            ob.prev_l2 = l2;
+            ob.prev_dram = dram;
+            ob.epoch += 1;
+            ob.next_boundary += ob.epoch_cycles;
+        }
+    }
+
+    /// Assembles the run's observability report, consuming the epoch
+    /// series. `None` when every [`SimConfig::obs`] channel is off.
+    fn take_obs_report(&mut self) -> Option<ObsReport> {
+        if !self.cfg.obs.enabled() {
+            return None;
+        }
+        let (events, dropped_events) = match self.uncore.event_log() {
+            Some((events, dropped)) => (events.to_vec(), dropped),
+            None => (Vec::new(), 0),
+        };
+        let epochs = self.obs_rt.take().map(|ob| ob.rows).unwrap_or_default();
+        Some(ObsReport {
+            events,
+            dropped_events,
+            epochs,
+            profile: ProfileSlot(self.prof.report()),
+        })
+    }
+
     /// Runs until core 0 has retired `instructions` more instructions (or
     /// the safety cycle cap is hit).
     ///
@@ -437,12 +630,17 @@ impl System {
             if self.adapt.is_some() {
                 self.adapt_epochs();
             }
+            if self.obs_rt.is_some() {
+                self.process_obs_epochs();
+            }
             let active = self.step();
             // Never fast-forward once the window boundary is reached:
             // the skip would push `cycle` past the stopping point and
             // shift the next window's start relative to the naive loop.
             if self.cfg.fast_forward && !active && self.cores[0].retired() < target {
+                let timer = self.prof.start(Phase::FastForward);
                 let next = self.next_event(self.cycle);
+                self.prof.stop(timer);
                 if next > self.cycle {
                     // Cap the jump so a genuine deadlock (next == MAX)
                     // still lands on the cycle-cap diagnostics.
@@ -482,7 +680,8 @@ impl System {
         while self.uncore.next_event_cycle(self.cycle) != Cycle::MAX {
             assert!(self.cycle < cap, "uncore failed to drain (deadlock?)");
             self.fill_buf.clear();
-            self.uncore.tick(self.cycle, &mut self.fill_buf);
+            self.uncore
+                .tick(self.cycle, &mut self.fill_buf, &mut self.prof);
             for i in 0..self.fill_buf.len() {
                 let (core, line) = self.fill_buf[i];
                 self.req_buf.clear();
@@ -520,6 +719,7 @@ impl System {
             l2_site: self.uncore.prefetch_telemetry(CoreId(0)),
             l3_site: self.uncore.l3_prefetch_telemetry(),
             adapt: self.adapt.as_ref().map(|a| a.telemetry.clone()),
+            obs: self.take_obs_report(),
         }
     }
 }

@@ -21,11 +21,14 @@
 //! the machine is cycle-identical to the pre-site uncore.
 
 use crate::config::SimConfig;
-use best_offset::{AccessOutcome, CacheAccess, PrefetchSite, Prefetcher, TuneDirective};
+use best_offset::{
+    AccessOutcome, CacheAccess, PrefetchEvent, PrefetchSite, Prefetcher, TuneDirective,
+};
 use bosim_cache::policy::InsertCtx;
 use bosim_cache::policy::PolicyKind;
 use bosim_cache::{CacheArray, FillQueue, PrefetchQueue};
 use bosim_dram::{MemConfig, MemorySystem, ReadCompletion};
+use bosim_obs::{Event, EventKind, HostProfiler, ObsSite, Phase, Recorder};
 use bosim_types::{CoreId, Cycle, LineAddr, ReqClass};
 use std::collections::VecDeque;
 
@@ -208,6 +211,12 @@ pub struct Uncore {
     /// inside [`tick`](Self::tick)); queues scan linearly.
     naive: bool,
     stats: UncoreStats,
+    /// Cycle-domain event log (`None` = tracing disabled, the default;
+    /// every hook below is then a single `if let` branch).
+    recorder: Option<Recorder>,
+    /// Scratch buffer for draining prefetcher-internal events (BO
+    /// learning rounds and phase ends).
+    pf_event_buf: Vec<PrefetchEvent>,
 }
 
 impl Uncore {
@@ -242,7 +251,7 @@ impl Uncore {
                 telemetry: PrefetchTelemetry::default(),
             })
             .collect();
-        Uncore {
+        let mut u = Uncore {
             l3: CacheArray::new(
                 cfg.l3_size,
                 cfg.l3_ways,
@@ -271,9 +280,98 @@ impl Uncore {
             fwd_needs_entry: vec![false; cfg.active_cores],
             naive,
             stats: UncoreStats::default(),
+            recorder: cfg.obs.events.then(|| Recorder::new(cfg.obs.max_events)),
+            pf_event_buf: Vec::new(),
             l2s,
             cfg: cfg.clone(),
+        };
+        if u.recorder.is_some() {
+            for l2 in &mut u.l2s {
+                l2.prefetcher.set_event_sink(true);
+            }
+            if let Some(p) = u.l3_prefetcher.as_mut() {
+                p.set_event_sink(true);
+            }
         }
+        u
+    }
+
+    /// Whether cycle-domain event tracing is active.
+    pub fn events_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records an externally-produced event (core-side L1 events, epoch
+    /// boundaries, tuning directives) into the shared log. A no-op when
+    /// tracing is disabled.
+    #[inline]
+    pub fn record_event(&mut self, event: Event) {
+        if let Some(r) = &mut self.recorder {
+            r.record(event);
+        }
+    }
+
+    /// The event log so far as `(events, dropped)`, or `None` when
+    /// tracing is disabled.
+    pub fn event_log(&self) -> Option<(&[Event], u64)> {
+        self.recorder.as_ref().map(|r| (r.events(), r.dropped()))
+    }
+
+    /// Records one uncore-internal event.
+    #[inline]
+    fn emit(&mut self, cycle: Cycle, core: CoreId, site: ObsSite, kind: EventKind) {
+        if let Some(r) = &mut self.recorder {
+            r.record(Event {
+                cycle,
+                core: u32::from(core.0),
+                site,
+                kind,
+            });
+        }
+    }
+
+    /// Drains the prefetcher-internal events (best-offset round/phase
+    /// ends) of the engine at `site` into the shared log. No-op unless
+    /// tracing is enabled (the sinks are only armed then).
+    fn drain_prefetcher_events(&mut self, c: usize, site: ObsSite, now: Cycle) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.pf_event_buf);
+        match site {
+            ObsSite::L3 => {
+                if let Some(p) = self.l3_prefetcher.as_mut() {
+                    p.drain_events(&mut buf);
+                }
+            }
+            _ => self.l2s[c].prefetcher.drain_events(&mut buf),
+        }
+        for ev in buf.drain(..) {
+            let kind = match ev {
+                PrefetchEvent::RoundEnd {
+                    round,
+                    leader_offset,
+                    leader_score,
+                } => EventKind::RoundEnd {
+                    round,
+                    leader_offset,
+                    leader_score,
+                },
+                PrefetchEvent::PhaseEnd {
+                    best_offset,
+                    best_score,
+                    prefetch_on,
+                    scores,
+                } => EventKind::PhaseEnd {
+                    best_offset,
+                    best_score,
+                    prefetch_on,
+                    scores,
+                },
+            };
+            self.emit(now, CoreId(c as u8), site, kind);
+        }
+        self.pf_event_buf = buf;
     }
 
     /// Statistics snapshot.
@@ -324,6 +422,9 @@ impl Uncore {
             {
                 Some(handle) if handle.supports_site(PrefetchSite::L2) => {
                     l2.prefetcher = handle.build(&self.cfg);
+                    if self.recorder.is_some() {
+                        l2.prefetcher.set_event_sink(true);
+                    }
                     true
                 }
                 _ => false,
@@ -346,7 +447,11 @@ impl Uncore {
             TuneDirective::SwitchPrefetcher(name) => {
                 match crate::registry::registry().lookup(name) {
                     Some(handle) if handle.supports_site(PrefetchSite::L3) => {
-                        self.l3_prefetcher = Some(handle.build(&self.cfg));
+                        let mut p = handle.build(&self.cfg);
+                        if self.recorder.is_some() {
+                            p.set_event_sink(true);
+                        }
+                        self.l3_prefetcher = Some(p);
                         true
                     }
                     _ => false,
@@ -372,6 +477,12 @@ impl Uncore {
         self.mem.config().channels
     }
 
+    /// Lines currently resident in the shared L3 with the prefetch bit
+    /// still set — the epoch series' cache-pollution gauge.
+    pub fn l3_prefetched_lines(&self) -> u64 {
+        self.l3.prefetched_lines()
+    }
+
     /// A core read request (demand miss, DL1 prefetch, or ifetch) arrives
     /// at its private L2.
     pub fn core_read(
@@ -394,6 +505,7 @@ impl Uncore {
                     // fill was useful (the access cleared the bit, so
                     // this counts once per prefetched fill).
                     self.l2s[c].telemetry.useful += 1;
+                    self.emit(now, core, ObsSite::L2, EventKind::FirstHit { line: line.0 });
                     AccessOutcome::PrefetchedHit
                 } else {
                     self.stats.l2_hits += 1;
@@ -410,6 +522,7 @@ impl Uncore {
                 self.stats.l2_misses += 1;
                 self.l2s[c].telemetry.misses += 1;
                 // CAM search of the fill queue: late-prefetch promotion.
+                let mut late = false;
                 let merged = {
                     let l2 = &mut self.l2s[c];
                     if let Some(e) = l2.fq.find_mut(line) {
@@ -418,6 +531,7 @@ impl Uncore {
                                 // A correct-but-late prefetch: the demand
                                 // caught the fill in flight.
                                 l2.telemetry.late_promotions += 1;
+                                late = true;
                             }
                             e.class = ReqClass::Demand;
                         }
@@ -428,6 +542,14 @@ impl Uncore {
                         false
                     }
                 };
+                if late {
+                    self.emit(
+                        now,
+                        core,
+                        ObsSite::L2,
+                        EventKind::LateMerge { line: line.0 },
+                    );
+                }
                 if merged {
                     self.stats.l2_fill_merges += 1;
                     // Also promote a matching in-flight L3 request.
@@ -494,6 +616,13 @@ impl Uncore {
         }
         if req.class != ReqClass::L2Prefetch {
             self.l2s[c].sent_demand_this_cycle = true;
+        } else {
+            self.emit(
+                now,
+                core,
+                ObsSite::L2,
+                EventKind::FillQueued { line: req.line.0 },
+            );
         }
         self.l3_in.push_back((
             now + self.cfg.l2_latency,
@@ -509,12 +638,13 @@ impl Uncore {
 
     /// Runs the L2 prefetcher on an eligible access and queues its
     /// prefetch candidates.
-    fn run_prefetcher(&mut self, c: usize, line: LineAddr, outcome: AccessOutcome, _now: Cycle) {
+    fn run_prefetcher(&mut self, c: usize, line: LineAddr, outcome: AccessOutcome, now: Cycle) {
         let mut cand = std::mem::take(&mut self.l2s[c].cand_buf);
         cand.clear();
         self.l2s[c]
             .prefetcher
             .on_access(CacheAccess { line, outcome }, &mut cand);
+        self.drain_prefetcher_events(c, ObsSite::L2, now);
         for &target in &cand {
             let l2 = &mut self.l2s[c];
             // Redundancy checks: resident, in flight, or already queued.
@@ -532,13 +662,20 @@ impl Uncore {
 
     /// Runs the L3-site prefetcher on an eligible L3 access and queues
     /// its candidates into the site's own lowest-priority queue.
-    fn run_l3_prefetcher(&mut self, core: CoreId, line: LineAddr, outcome: AccessOutcome) {
+    fn run_l3_prefetcher(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        outcome: AccessOutcome,
+        now: Cycle,
+    ) {
         let Some(prefetcher) = self.l3_prefetcher.as_mut() else {
             return;
         };
         let mut cand = std::mem::take(&mut self.l3_cand_buf);
         cand.clear();
         prefetcher.on_access(CacheAccess { line, outcome }, &mut cand);
+        self.drain_prefetcher_events(core.index(), ObsSite::L3, now);
         for &target in &cand {
             // Redundancy checks: resident, in flight, or already queued.
             if self.l3.contains(target)
@@ -582,6 +719,12 @@ impl Uncore {
             || self.mem.has_pending_read(line)
         {
             self.stats.l3_prefetches_cancelled += 1;
+            self.emit(
+                now,
+                core,
+                ObsSite::L3,
+                EventKind::PrefetchDropped { line: line.0 },
+            );
             return;
         }
         let reserved = self.l3_fq.try_reserve(
@@ -599,10 +742,22 @@ impl Uncore {
         debug_assert!(accepted, "checked for space above");
         self.stats.l3_prefetches_issued += 1;
         self.l3_telemetry.issued += 1;
+        self.emit(
+            now,
+            core,
+            ObsSite::L3,
+            EventKind::PrefetchIssued { line: line.0 },
+        );
+        self.emit(
+            now,
+            core,
+            ObsSite::L3,
+            EventKind::FillQueued { line: line.0 },
+        );
     }
 
     /// A dirty line written back from a core's DL1.
-    pub fn core_writeback(&mut self, core: CoreId, line: LineAddr) {
+    pub fn core_writeback(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
         let c = core.index();
         if self.l2s[c].array.mark_dirty(line) {
             return;
@@ -619,16 +774,22 @@ impl Uncore {
         if let Some(ev) = evicted {
             if ev.prefetch {
                 self.l2s[c].telemetry.unused_evicted += 1;
+                self.emit(
+                    now,
+                    core,
+                    ObsSite::L2,
+                    EventKind::UnusedEvict { line: ev.line.0 },
+                );
             }
             if ev.dirty {
-                self.l3_writeback(core, ev.line);
+                self.l3_writeback(core, ev.line, now);
             }
         }
     }
 
     /// A dirty line leaving an L2 (eviction) updates or allocates in the
     /// non-inclusive L3.
-    fn l3_writeback(&mut self, core: CoreId, line: LineAddr) {
+    fn l3_writeback(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
         if self.l3.mark_dirty(line) {
             return;
         }
@@ -645,6 +806,12 @@ impl Uncore {
             if ev.prefetch {
                 // An untouched prefetch-bit line fell out of the L3.
                 self.l3_telemetry.unused_evicted += 1;
+                self.emit(
+                    now,
+                    core,
+                    ObsSite::L3,
+                    EventKind::UnusedEvict { line: ev.line.0 },
+                );
             }
             if ev.dirty {
                 self.wb_buf.push_back((ev.line, core));
@@ -669,6 +836,12 @@ impl Uncore {
                 // fill was useful (the access cleared the bit, so this
                 // counts once per prefetched fill).
                 self.l3_telemetry.useful += 1;
+                self.emit(
+                    now,
+                    req.core,
+                    ObsSite::L3,
+                    EventKind::FirstHit { line: req.line.0 },
+                );
             }
             // The L3-site prefetcher observes each request once, at its
             // first arrival (a stalled retry is the same request).
@@ -678,7 +851,7 @@ impl Uncore {
                 } else {
                     AccessOutcome::Hit
                 };
-                self.run_l3_prefetcher(req.core, req.line, outcome);
+                self.run_l3_prefetcher(req.core, req.line, outcome, now);
             }
             if req.counted {
                 // A stalled-then-retried request whose block landed in
@@ -690,15 +863,25 @@ impl Uncore {
                 // its own services it (classification happens here, at
                 // service time, never at the stalled first arrival).
                 let l2 = &mut self.l2s[req.core.index()];
+                let mut late = false;
                 if let Some(e) = l2.fq.find_mut(req.line) {
                     if req.class == ReqClass::Demand {
                         if e.class == ReqClass::L2Prefetch {
                             l2.telemetry.late_promotions += 1;
+                            late = true;
                         }
                         e.class = ReqClass::Demand;
                     }
                     e.payload.to_il1 |= req.ifetch;
                     e.payload.to_dl1 |= !req.ifetch && req.class != ReqClass::L2Prefetch;
+                    if late {
+                        self.emit(
+                            now,
+                            req.core,
+                            ObsSite::L2,
+                            EventKind::LateMerge { line: req.line.0 },
+                        );
+                    }
                 } else if !l2.fq.try_reserve(
                     req.line,
                     req.class,
@@ -722,7 +905,7 @@ impl Uncore {
         if first_arrival {
             self.l3_telemetry.misses += 1;
             if !req.ifetch {
-                self.run_l3_prefetcher(req.core, req.line, AccessOutcome::Miss);
+                self.run_l3_prefetcher(req.core, req.line, AccessOutcome::Miss, now);
             }
         }
         // The miss is recorded at the terminal outcome below (merge,
@@ -743,12 +926,15 @@ impl Uncore {
             to_dl1: !req.ifetch && req.class != ReqClass::L2Prefetch,
         };
         // Merge into a pending L3 fill (the block is already on its way).
+        let mut late_l3 = false;
+        let mut late_l2 = false;
         if let Some(e) = self.l3_fq.find_mut(req.line) {
             if req.class == ReqClass::Demand {
                 if e.class == ReqClass::L3Prefetch {
                     // The demand caught an L3-site prefetch in flight:
                     // correct but late, charged to the shared L3 site.
                     self.l3_telemetry.late_promotions += 1;
+                    late_l3 = true;
                 }
                 if e.class == ReqClass::L2Prefetch && req.core == e.payload.requester {
                     // The issuing core's own demand caught its prefetch
@@ -759,12 +945,29 @@ impl Uncore {
                     // and a later same-core merge *there* would count
                     // the same prefetch a second time.
                     self.l2s[req.core.index()].telemetry.late_promotions += 1;
+                    late_l2 = true;
                 }
                 e.class = ReqClass::Demand;
             }
             e.payload.forwards.push(fwd);
             self.stats.l3_misses += 1;
             self.stats.l3_fill_merges += 1;
+            if late_l3 {
+                self.emit(
+                    now,
+                    req.core,
+                    ObsSite::L3,
+                    EventKind::LateMerge { line: req.line.0 },
+                );
+            }
+            if late_l2 {
+                self.emit(
+                    now,
+                    req.core,
+                    ObsSite::L2,
+                    EventKind::LateMerge { line: req.line.0 },
+                );
+            }
             return;
         }
         // Need an L3 fill-queue entry and a DRAM read-queue slot.
@@ -776,6 +979,12 @@ impl Uncore {
                 // Prefetches are cancelled, not retried (§5.4).
                 self.stats.l3_misses += 1;
                 self.stats.l2_prefetches_cancelled += 1;
+                self.emit(
+                    now,
+                    req.core,
+                    ObsSite::L2,
+                    EventKind::PrefetchDropped { line: req.line.0 },
+                );
             } else {
                 self.l3_stalled.push_back(req);
             }
@@ -836,6 +1045,12 @@ impl Uncore {
                 // site's resolution invariant (L2 prefetches fill the
                 // L3 on their way up, §5.4).
                 self.l3_telemetry.prefetch_fills += 1;
+                self.emit(
+                    now,
+                    entry.payload.requester,
+                    ObsSite::L3,
+                    EventKind::PrefetchFill { line: entry.line.0 },
+                );
             }
             if entry.class == ReqClass::L3Prefetch {
                 self.stats.l3_prefetch_fills += 1;
@@ -843,6 +1058,12 @@ impl Uncore {
             if let Some(ev) = evicted {
                 if ev.prefetch {
                     self.l3_telemetry.unused_evicted += 1;
+                    self.emit(
+                        now,
+                        entry.payload.requester,
+                        ObsSite::L3,
+                        EventKind::UnusedEvict { line: ev.line.0 },
+                    );
                 }
                 if ev.dirty {
                     self.wb_buf.push_back((ev.line, entry.payload.requester));
@@ -877,7 +1098,6 @@ impl Uncore {
             );
             debug_assert!(ok, "capacity checked above");
             l2.fq.set_ready(entry.line);
-            let _ = now;
         }
     }
 
@@ -913,15 +1133,27 @@ impl Uncore {
             if prefetched {
                 self.stats.l2_prefetch_fills += 1;
                 self.l2s[c].telemetry.prefetch_fills += 1;
+                self.emit(
+                    now,
+                    CoreId(c as u8),
+                    ObsSite::L2,
+                    EventKind::PrefetchFill { line: entry.line.0 },
+                );
             }
             if let Some(ev) = evicted {
                 if ev.prefetch {
                     // Evicted with the prefetch bit still set: fetched
                     // but never used.
                     self.l2s[c].telemetry.unused_evicted += 1;
+                    self.emit(
+                        now,
+                        CoreId(c as u8),
+                        ObsSite::L2,
+                        EventKind::UnusedEvict { line: ev.line.0 },
+                    );
                 }
                 if ev.dirty {
-                    self.l3_writeback(CoreId(c as u8), ev.line);
+                    self.l3_writeback(CoreId(c as u8), ev.line, now);
                 }
             }
         }
@@ -952,6 +1184,12 @@ impl Uncore {
         }
         self.stats.l2_prefetches_issued += 1;
         self.l2s[c].telemetry.issued += 1;
+        self.emit(
+            now,
+            CoreId(c as u8),
+            ObsSite::L2,
+            EventKind::PrefetchIssued { line: line.0 },
+        );
         let req = StalledReq {
             line,
             class: ReqClass::L2Prefetch,
@@ -1018,12 +1256,19 @@ impl Uncore {
     /// The guards elide provable no-ops only — cycle-exact behaviour is
     /// identical to the fully-polled loop (the golden-stats test in
     /// `tests/tests/golden_stats.rs` pins this down).
-    pub fn tick(&mut self, now: Cycle, fills: &mut Vec<(CoreId, LineAddr)>) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        fills: &mut Vec<(CoreId, LineAddr)>,
+        prof: &mut HostProfiler,
+    ) {
         // 1. DRAM: completions make L3 fill-queue entries ready.
         self.completions.clear();
         let l3_can_accept = !self.l3_fq.is_full();
         let mut comps = std::mem::take(&mut self.completions);
+        let timer = prof.start(Phase::Dram);
         self.mem.tick(now, l3_can_accept, &mut comps);
+        prof.stop(timer);
         for comp in &comps {
             self.l3_fq.set_ready(comp.line);
         }
@@ -1072,15 +1317,25 @@ impl Uncore {
             if let Some(req) = self.l2s[c].stalled.pop_front() {
                 // It may now merge with an in-flight fill.
                 let l2 = &mut self.l2s[c];
+                let mut late = false;
                 if let Some(e) = l2.fq.find_mut(req.line) {
                     if req.class == ReqClass::Demand {
                         if e.class == ReqClass::L2Prefetch {
                             l2.telemetry.late_promotions += 1;
+                            late = true;
                         }
                         e.class = ReqClass::Demand;
                     }
                     e.payload.to_il1 |= req.ifetch;
                     e.payload.to_dl1 |= !req.ifetch;
+                    if late {
+                        self.emit(
+                            now,
+                            CoreId(c as u8),
+                            ObsSite::L2,
+                            EventKind::LateMerge { line: req.line.0 },
+                        );
+                    }
                 } else {
                     self.forward_to_l3(CoreId(c as u8), req, now);
                 }
@@ -1187,6 +1442,11 @@ mod tests {
         Uncore::new(&cfg)
     }
 
+    /// Throwaway disabled profiler for test tick calls.
+    fn prof() -> HostProfiler {
+        HostProfiler::disabled()
+    }
+
     fn run_to_fill(
         u: &mut Uncore,
         start: Cycle,
@@ -1194,7 +1454,7 @@ mod tests {
     ) -> Option<(Cycle, Vec<(CoreId, LineAddr)>)> {
         let mut fills = Vec::new();
         for now in start..start + max {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
             if !fills.is_empty() {
                 return Some((now, fills));
             }
@@ -1240,7 +1500,7 @@ mod tests {
         u.core_read(CoreId(0), LineAddr(0x1000), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
         for now in 0..6000 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         let s = u.stats();
         assert_eq!(s.l2_prefetches_issued, 1, "{s:?}");
@@ -1258,11 +1518,11 @@ mod tests {
         u.core_read(CoreId(0), LineAddr(0x2000), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
         for now in 0..40 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         u.core_read(CoreId(0), LineAddr(0x2001), ReqClass::Demand, false, 40);
         for now in 40..6000 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         let got: std::collections::HashSet<u64> = fills.iter().map(|&(_, l)| l.0).collect();
         assert!(got.contains(&0x2001), "promoted prefetch must reach core");
@@ -1279,9 +1539,9 @@ mod tests {
         // Fill many dirty lines through core writebacks; force L2 and L3
         // evictions until DRAM writes happen.
         for i in 0..200_000u64 {
-            u.core_writeback(CoreId(0), LineAddr(i * 64));
+            u.core_writeback(CoreId(0), LineAddr(i * 64), i);
             let mut fills = Vec::new();
-            u.tick(i, &mut fills);
+            u.tick(i, &mut fills, &mut prof());
         }
         assert!(u.dram_stats().writes > 0, "{:?}", u.dram_stats());
     }
@@ -1294,9 +1554,9 @@ mod tests {
         u.core_read(CoreId(0), LineAddr(0x7000), ReqClass::Demand, false, 0);
         let before = u.stats().l2_prefetches_issued;
         let mut fills = Vec::new();
-        u.tick(0, &mut fills); // demand was sent this cycle: prefetch waits
+        u.tick(0, &mut fills, &mut prof()); // demand was sent this cycle: prefetch waits
         assert_eq!(u.stats().l2_prefetches_issued, before);
-        u.tick(1, &mut fills); // no demand: the prefetch may go
+        u.tick(1, &mut fills, &mut prof()); // no demand: the prefetch may go
         assert_eq!(u.stats().l2_prefetches_issued, before + 1);
     }
 
@@ -1307,7 +1567,7 @@ mod tests {
         u.core_read(CoreId(0), LineAddr(0x8001), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
         for now in 0..6000 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         u.core_read(CoreId(0), LineAddr(0x8000), ReqClass::Demand, false, 6000);
         let s = u.stats();
@@ -1331,7 +1591,7 @@ mod tests {
                 now,
             );
             for _ in 0..400 {
-                u.tick(now, &mut fills);
+                u.tick(now, &mut fills, &mut prof());
                 now += 1;
             }
         }
@@ -1349,7 +1609,7 @@ mod tests {
         // evictions into the L3 (write-allocate on writeback).
         // L2: 1024 sets; lines k*1024 share set 0; 8 ways overflow at 9.
         for k in 0..12u64 {
-            u.core_writeback(CoreId(0), LineAddr(k * 1024));
+            u.core_writeback(CoreId(0), LineAddr(k * 1024), 0);
         }
         let s = u.stats();
         let _ = s;
@@ -1358,7 +1618,7 @@ mod tests {
         u.core_read(CoreId(0), LineAddr(0), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
         for now in 0..200 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         assert_eq!(u.stats().l3_hits, 1, "{:?}", u.stats());
         assert!(!fills.is_empty(), "L3 hit must return data quickly");
@@ -1385,14 +1645,14 @@ mod tests {
         // +l2_latency, misses, releases the entry and goes to DRAM.
         u.core_read(CoreId(0), line, ReqClass::Demand, false, 0);
         for now in 0..20 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         // Re-request of the same line while the L3 fill is in flight:
         // re-reserves the L2 entry and *merges* at the L3 fill queue —
         // the entry now carries two forwards for core 0.
         u.core_read(CoreId(0), line, ReqClass::Demand, false, 20);
         for now in 21..40 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         assert_eq!(u.stats().l3_fill_merges, 1, "{:?}", u.stats());
         assert!(fills.is_empty(), "DRAM not done yet");
@@ -1440,12 +1700,12 @@ mod tests {
         // but its hit/miss classification pending.
         u.core_read(CoreId(0), LineAddr(0x5000), ReqClass::Demand, false, 0);
         for now in 0..15 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         let b = LineAddr(0x7000);
         u.core_read(CoreId(0), b, ReqClass::Demand, false, 15);
         for now in 15..30 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         let s = u.stats();
         assert_eq!((s.l3_accesses, s.l3_hits, s.l3_misses), (2, 0, 1), "{s:?}");
@@ -1453,9 +1713,9 @@ mod tests {
         // the L2 into the L3 (write-allocate): the block lands in the L3
         // before the retry can re-issue.
         // L2 has 1024 sets, so lines k*1024 + 0x7000 share B's set.
-        u.core_writeback(CoreId(0), b);
+        u.core_writeback(CoreId(0), b, 30);
         for k in 1..=9u64 {
-            u.core_writeback(CoreId(0), LineAddr(b.0 + k * 1024));
+            u.core_writeback(CoreId(0), LineAddr(b.0 + k * 1024), 30);
         }
         assert!(fills.is_empty(), "nothing delivered yet");
         // The next retry hits in the L3: miss reclassified as a hit, and
@@ -1473,7 +1733,7 @@ mod tests {
         u.core_read(CoreId(0), LineAddr(0x1000), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
         for now in 0..6000 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         let t = u.prefetch_telemetry(CoreId(0));
         assert_eq!((t.issued, t.prefetch_fills), (1, 1), "{t:?}");
@@ -1496,12 +1756,12 @@ mod tests {
         u.core_read(CoreId(0), LineAddr(0x2000), ReqClass::Demand, false, 0);
         let mut fills = Vec::new();
         for now in 0..30 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         assert_eq!(u.stats().l2_prefetches_issued, 1, "prefetch in flight");
         u.core_read(CoreId(0), LineAddr(0x2001), ReqClass::Demand, false, 30);
         for now in 30..6000 {
-            u.tick(now, &mut fills);
+            u.tick(now, &mut fills, &mut prof());
         }
         let t = u.prefetch_telemetry(CoreId(0));
         assert_eq!(t.late_promotions, 1, "{t:?}");
@@ -1524,7 +1784,7 @@ mod tests {
                 now,
             );
             for _ in 0..2000 {
-                u.tick(now, &mut fills);
+                u.tick(now, &mut fills, &mut prof());
                 now += 1;
             }
         }

@@ -24,10 +24,12 @@
 
 mod histogram;
 mod json;
+mod parse;
 mod summary;
 mod table;
 
 pub use histogram::Histogram;
 pub use json::Json;
+pub use parse::JsonParseError;
 pub use summary::{geometric_mean, harmonic_mean, mean, speedup, RateStat};
 pub use table::{fmt3, Align, Table};

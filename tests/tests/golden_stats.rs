@@ -135,6 +135,40 @@ fn golden_stats_file_backed_trace_with_sampling() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Observability must not break the invariance — with event tracing,
+/// epoch snapshots and host profiling all enabled, the naive and
+/// fast-forwarding loops must produce bit-identical `SimResult`s
+/// *including* the event stream and the epoch series (`SimResult`'s
+/// `PartialEq` covers `obs`; only the wall-clock profile is excluded).
+/// Epoch boundaries are processed before the boundary cycle's tick and
+/// fast-forward skips only provably idle cycles, so every event lands
+/// on the same cycle in both modes.
+#[test]
+fn golden_stats_with_tracing_enabled() {
+    use bosim_obs::ObsConfig;
+    let obs = ObsConfig {
+        events: true,
+        epochs: true,
+        epoch_cycles: 5_000,
+        profile: true,
+        ..ObsConfig::default()
+    };
+
+    let mut traced = quick(prefetchers::bo_default(), 0xB05EED);
+    traced.l1_prefetcher = Some(prefetchers::stride_default());
+    traced.l3_prefetcher = Some(prefetchers::next_line());
+    traced.obs = obs.clone();
+    assert_invariant(traced, "462");
+
+    // Tracing combined with adaptive control: directive and epoch
+    // events ride on top of the adapt machinery without perturbing it.
+    use bosim::adapt::{policies, AdaptConfig};
+    let mut adaptive = quick(prefetchers::bo_default(), 0xB05EED);
+    adaptive.adapt = Some(AdaptConfig::new(policies::degree_governor()).epoch_cycles(5_000));
+    adaptive.obs = obs;
+    assert_invariant(adaptive, "429");
+}
+
 #[test]
 fn golden_stats_multicore_large_pages() {
     let cfg = SimConfig {

@@ -1,0 +1,195 @@
+//! Observability end-to-end: the cycle-domain event trace, the epoch
+//! metric series and the Perfetto export are deterministic pure
+//! functions of simulated state — identical across reruns, inert when
+//! disabled — and the exported JSON is structurally valid trace-event
+//! format.
+
+use bosim::{prefetchers, SimConfig, SimResult, System};
+use bosim_obs::{perfetto, EventKind, ObsConfig, ObsSite};
+use bosim_stats::Json;
+use bosim_trace::suite;
+
+fn run(cfg: &SimConfig, bench_id: &str) -> SimResult {
+    let bench = suite::benchmark(bench_id).expect("benchmark exists");
+    System::new(cfg, &bench).run()
+}
+
+/// A fully instrumented three-site stack, short enough for CI but long
+/// enough to cross several 5k-cycle epochs and BO learning phases.
+fn instrumented() -> SimConfig {
+    SimConfig {
+        warmup_instructions: 10_000,
+        measure_instructions: 40_000,
+        l1_prefetcher: Some(prefetchers::stride_default()),
+        l2_prefetcher: prefetchers::bo_default(),
+        l3_prefetcher: Some(prefetchers::next_line()),
+        seed: 0xB05EED,
+        obs: ObsConfig {
+            events: true,
+            epochs: true,
+            epoch_cycles: 5_000,
+            profile: true,
+            ..ObsConfig::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn event_trace_and_epoch_series_are_identical_across_reruns() {
+    let cfg = instrumented();
+    let a = run(&cfg, "462");
+    let b = run(&cfg, "462");
+    // `SimResult` equality covers the event stream and the epoch rows
+    // (the host profile is excluded by design).
+    assert_eq!(a, b, "instrumented rerun diverged");
+    let obs = a.obs.expect("observability report attached");
+    assert!(!obs.events.is_empty(), "no events recorded");
+    assert!(!obs.epochs.is_empty(), "no epoch rows collected");
+    assert!(obs.profile.0.is_some(), "no host profile attached");
+    assert_eq!(
+        obs.epochs_jsonl(),
+        b.obs.expect("rerun report").epochs_jsonl(),
+        "epoch JSONL diverged"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let mut plain = instrumented();
+    plain.obs = ObsConfig::default();
+    let baseline = run(&plain, "429");
+    assert!(baseline.obs.is_none(), "disabled run must carry no report");
+    let mut traced = run(&instrumented(), "429");
+    assert!(traced.obs.is_some());
+    // With the report stripped, every simulated counter must be
+    // bit-identical: observability observes, it never steers.
+    traced.obs = None;
+    assert_eq!(baseline, traced, "tracing changed simulated state");
+}
+
+#[test]
+fn the_event_stream_covers_the_prefetch_lifecycle() {
+    // Long enough for a full BO learning phase to close (~100k
+    // instructions on the streaming benchmark), so `phase_end` fires.
+    let mut cfg = instrumented();
+    cfg.measure_instructions = 100_000;
+    let obs = run(&cfg, "462").obs.expect("report");
+    let has = |name: &str| obs.events.iter().any(|e| e.kind.name() == name);
+    for name in [
+        "prefetch_issued",
+        "fill_queued",
+        "prefetch_fill",
+        "first_hit",
+        "round_end",
+        "phase_end",
+        "epoch_end",
+    ] {
+        assert!(has(name), "no {name} event in {} events", obs.events.len());
+    }
+    // The BO phase-end snapshot carries the full score table.
+    let snapshot = obs.events.iter().find_map(|e| match &e.kind {
+        EventKind::PhaseEnd { scores, .. } => Some(scores),
+        _ => None,
+    });
+    assert!(
+        snapshot.is_some_and(|s| !s.is_empty()),
+        "phase_end without a score-table snapshot"
+    );
+    // All three cache sites (plus the sys track) produce events under
+    // the l1:stride + l2:bo + l3:next-line stack.
+    for site in [ObsSite::Sys, ObsSite::L1d, ObsSite::L2, ObsSite::L3] {
+        assert!(
+            obs.events.iter().any(|e| e.site == site),
+            "no events on the {site} track"
+        );
+    }
+    // Cycle stamps never decrease per site track — events are recorded
+    // in simulation order.
+    let mut last = 0;
+    for e in obs.events.iter().filter(|e| e.site == ObsSite::L2) {
+        assert!(e.cycle >= last, "L2 event stream not cycle-ordered");
+        last = e.cycle;
+    }
+}
+
+#[test]
+fn the_recorder_is_bounded_and_keeps_the_first_events() {
+    let mut small = instrumented();
+    small.obs.max_events = 100;
+    small.obs.profile = false;
+    let full = run(&instrumented(), "462").obs.expect("report");
+    let capped = run(&small, "462").obs.expect("report");
+    assert_eq!(capped.events.len(), 100, "capacity not enforced");
+    assert!(capped.dropped_events > 0, "nothing counted as dropped");
+    // Keep-first: the capped log is a prefix of the unbounded one, so
+    // overflowing traces stay byte-comparable.
+    assert_eq!(capped.events[..], full.events[..100]);
+    assert_eq!(
+        capped.events.len() as u64 + capped.dropped_events,
+        full.events.len() as u64 + full.dropped_events,
+        "total observed events must not depend on the capacity"
+    );
+}
+
+#[test]
+fn epoch_stream_file_matches_the_in_memory_series() {
+    let path = std::env::temp_dir().join(format!("bosim_obs_epochs_{}.jsonl", std::process::id()));
+    let mut cfg = instrumented();
+    cfg.obs.epoch_stream = Some(path.clone());
+    let obs = run(&cfg, "433").obs.expect("report");
+    let streamed = std::fs::read_to_string(&path).expect("stream file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(!obs.epochs.is_empty());
+    assert_eq!(
+        streamed,
+        obs.epochs_jsonl(),
+        "streamed rows diverge from the collected series"
+    );
+    // Every line is a self-contained JSON object with the metric keys.
+    for line in streamed.lines() {
+        let row = Json::parse(line).expect("stream line parses");
+        for key in [
+            "epoch",
+            "ipc",
+            "accuracy",
+            "coverage",
+            "lateness",
+            "occupancy",
+        ] {
+            assert!(row.get(key).is_some(), "epoch row missing {key}: {line}");
+        }
+    }
+}
+
+#[test]
+fn perfetto_export_is_structurally_valid_trace_event_json() {
+    let obs = run(&instrumented(), "462").obs.expect("report");
+    let doc = perfetto::trace_json(&obs, "obs test");
+    // Round-trip through the hand-rolled parser: the export must be a
+    // single well-formed JSON document.
+    let parsed = Json::parse(&doc.to_string()).expect("export parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph string");
+        assert!(e.get("name").is_some_and(|n| n.as_str().is_some()));
+        if ph != "M" {
+            for key in ["ts", "pid", "tid"] {
+                assert!(
+                    e.get(key).is_some_and(Json::is_number),
+                    "non-metadata event missing numeric {key}"
+                );
+            }
+        }
+    }
+    let text = doc.to_string();
+    // Simulation instants, epoch counter tracks and the host-profile
+    // process all land in the export.
+    assert!(text.contains(r#""ph":"i""#), "no instant events");
+    assert!(text.contains(r#""epoch ipc""#), "no epoch counters");
+    assert!(text.contains(r#""bosim host profile""#), "no profile track");
+}
