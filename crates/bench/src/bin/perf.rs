@@ -1,20 +1,27 @@
 //! `perf` — the simulator-throughput harness.
 //!
-//! Runs every selected benchmark twice on the same configuration — once
-//! with the naive every-cycle system loop, once with idle-stretch
-//! fast-forwarding — asserts the results are bit-identical, and reports
-//! sim-cycles/sec, µops/sec and the optimized/naive speedup per
-//! benchmark plus an aggregate `TOTAL` column. The JSON report lands in
-//! `BENCH_throughput.json` under the report directory.
+//! Times every selected benchmark on three machine arms — the Table 1
+//! default, a four-core machine and an `l2:bo` machine — twice each: once
+//! with the naive every-cycle system loop, once with the event-wheel
+//! scheduled loop. The results are asserted bit-identical per pair, and
+//! sim-cycles/sec, µops/sec and the optimized/naive speedup are reported
+//! per benchmark plus an aggregate `TOTAL` column per arm. The JSON
+//! report lands in `BENCH_throughput.json` under the report directory.
 //!
 //! Environment knobs: `BOSIM_BENCHMARKS`, `BOSIM_INSTRUCTIONS`,
 //! `BOSIM_WARMUP`, `BOSIM_REPORT_DIR` (see the crate docs), plus
 //! `BOSIM_PERF_REPS` (default 3): timed repetitions per mode, keeping
-//! the fastest. Runs are serial by design — wall-clock timing would be
-//! noise otherwise.
+//! the fastest; and `BOSIM_PERF_MIN_SPEEDUP`: when set, the process
+//! exits non-zero unless the aggregate speedup across all arms meets
+//! the floor (the CI regression gate; a golden-stats mismatch already
+//! aborts via the harness's own assertion). Runs are serial by design —
+//! wall-clock timing would be noise otherwise.
 
 use bosim::SimConfig;
-use bosim_bench::{measure_suite, selected_benchmarks, throughput_report};
+use bosim_bench::{
+    aggregate_speedup, measure_suite, perf_arms, selected_benchmarks, throughput_report,
+    ArmThroughput,
+};
 
 fn main() {
     let cfg = SimConfig::default();
@@ -23,29 +30,51 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let machine_arms = perf_arms(&cfg);
     eprintln!(
-        "[perf] {} benchmarks × 2 modes × {} reps, {} + {} instructions each (serial)",
+        "[perf] {} benchmarks × {} arms × 2 modes × {} reps, {} + {} instructions each (serial)",
         benches.len(),
+        machine_arms.len(),
         reps,
         cfg.warmup_instructions,
         cfg.measure_instructions,
     );
-    let pairs = measure_suite(&cfg, &benches, reps);
-    for p in &pairs {
-        eprintln!(
-            "[perf] {:<16} stepped {:>5.1}% of {:.1} Mcycles, {:.2}x",
-            p.naive.benchmark,
-            p.optimized.steps as f64 / p.optimized.sim_cycles as f64 * 100.0,
-            p.optimized.sim_cycles as f64 / 1e6,
-            p.speedup(),
-        );
-    }
-    let report = throughput_report(&cfg, &pairs);
+    let arms: Vec<ArmThroughput> = machine_arms
+        .into_iter()
+        .map(|(label, config)| {
+            eprintln!("[perf] arm {label} ({})", config.label());
+            let pairs = measure_suite(&config, &benches, reps);
+            for p in &pairs {
+                eprintln!(
+                    "[perf]   {:<16} stepped {:>5.1}% of {:.1} Mcycles, {:.2}x",
+                    p.naive.benchmark,
+                    p.optimized.steps as f64 / p.optimized.sim_cycles as f64 * 100.0,
+                    p.optimized.sim_cycles as f64 / 1e6,
+                    p.speedup(),
+                );
+            }
+            ArmThroughput {
+                label,
+                config,
+                pairs,
+            }
+        })
+        .collect();
+    let report = throughput_report(&arms);
     report.emit();
-    let total_speedup = report
-        .arms
-        .last()
-        .and_then(|a| a.values.last().copied())
-        .unwrap_or(f64::NAN);
-    eprintln!("[perf] aggregate speedup (opt/naive sim-cycles/s): {total_speedup:.2}x");
+    let total_speedup = aggregate_speedup(&arms);
+    eprintln!("[perf] aggregate speedup (opt/naive sim-cycles/s, all arms): {total_speedup:.2}x");
+    if let Some(floor) = std::env::var("BOSIM_PERF_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if total_speedup < floor {
+            eprintln!(
+                "[perf] FAIL: aggregate speedup {total_speedup:.2}x is below the \
+                 BOSIM_PERF_MIN_SPEEDUP floor of {floor:.2}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[perf] aggregate speedup meets the {floor:.2}x floor");
+    }
 }

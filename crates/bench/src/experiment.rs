@@ -95,6 +95,16 @@ pub enum ExperimentError {
     },
     /// The job grid failed to run.
     Runner(RunnerError),
+    /// A `--reps` repetition of the grid produced different results —
+    /// the simulator broke its determinism promise.
+    NonDeterministic {
+        /// Which repetition diverged (1-based; repetition 1 is the
+        /// reference).
+        rep: usize,
+        /// A human-readable `benchmark [config]` tag for the first
+        /// diverging job.
+        job: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -110,6 +120,11 @@ impl fmt::Display for ExperimentError {
                 write!(f, "arm {series:?} has an invalid configuration: {error}")
             }
             ExperimentError::Runner(e) => write!(f, "experiment grid failed: {e}"),
+            ExperimentError::NonDeterministic { rep, job } => write!(
+                f,
+                "repetition {rep} diverged from repetition 1 on {job}: \
+                 simulation results must be bit-identical across reps"
+            ),
         }
     }
 }
@@ -119,7 +134,9 @@ impl std::error::Error for ExperimentError {
         match self {
             ExperimentError::InvalidConfig { error, .. } => Some(error),
             ExperimentError::Runner(e) => Some(e),
-            ExperimentError::NoArms | ExperimentError::MixedBaselines { .. } => None,
+            ExperimentError::NoArms
+            | ExperimentError::MixedBaselines { .. }
+            | ExperimentError::NonDeterministic { .. } => None,
         }
     }
 }
@@ -149,6 +166,7 @@ pub struct Experiment {
     with_gm: bool,
     decimals: usize,
     threads: Option<usize>,
+    reps: usize,
 }
 
 impl Experiment {
@@ -169,6 +187,7 @@ impl Experiment {
             with_gm: true,
             decimals: 3,
             threads: None,
+            reps: 1,
         }
     }
 
@@ -272,6 +291,17 @@ impl Experiment {
         self
     }
 
+    /// Runs the deduplicated grid `reps` times and asserts that every
+    /// repetition reproduces the first bit-identically — a determinism
+    /// harness for CI and for flushing out scheduling-order bugs in the
+    /// parallel tick loop. Simulated results are unaffected (the first
+    /// repetition is reported); only wall-clock cost scales. `reps = 0`
+    /// is treated as 1.
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
     /// Runs the deduplicated grid on the worker pool and assembles the
     /// [`Report`].
     ///
@@ -348,10 +378,27 @@ impl Experiment {
         );
         let t0 = std::time::Instant::now();
         let results = run_jobs(&jobs, threads)?;
+        // Extra repetitions re-run the identical grid and must reproduce
+        // it exactly; any drift is a determinism bug, so the whole
+        // experiment fails rather than silently averaging it away.
+        for rep in 2..=self.reps {
+            let again = run_jobs(&jobs, threads)?;
+            if let Some(i) = (0..jobs.len()).find(|&i| again[i] != results[i]) {
+                return Err(ExperimentError::NonDeterministic {
+                    rep,
+                    job: format!("{} [{}]", jobs[i].bench.short, jobs[i].config.label()),
+                });
+            }
+        }
         eprintln!(
-            "[bosim] {}: grid done in {:.1}s",
+            "[bosim] {}: grid done in {:.1}s{}",
             self.name,
-            t0.elapsed().as_secs_f64()
+            t0.elapsed().as_secs_f64(),
+            if self.reps > 1 {
+                format!(" ({} reps, bit-identical)", self.reps)
+            } else {
+                String::new()
+            }
         );
 
         let paired = self.arms.iter().any(|a| a.baseline.is_some());
@@ -539,6 +586,20 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn repetitions_reproduce_the_grid_bit_identically() {
+        // The simulator is deterministic, so the rep harness must pass
+        // (and report the repetition count only on stderr — the report
+        // itself is the first repetition's).
+        let report = Experiment::new("reps", "reps")
+            .benchmark_ids(&["456"])
+            .arm("base", tiny(SimConfig::default()))
+            .reps(3)
+            .run()
+            .expect("deterministic grid survives repetition");
+        assert!(report.arms[0].values[0] > 0.0);
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use experiment::{
 };
 pub use report::{ArmReport, Layout, Report, RunSummary};
 pub use throughput::{
-    measure, measure_suite, throughput_report, ThroughputMeasurement, ThroughputPair,
+    aggregate_speedup, measure, measure_suite, perf_arms, throughput_report, ArmThroughput,
+    ThroughputMeasurement, ThroughputPair,
 };
 
 use bosim_trace::{suite, BenchmarkSpec};

@@ -15,7 +15,7 @@
 //! bandwidth and turn the wall-clock numbers into noise.
 
 use crate::report::{ArmReport, Layout, Report, RunSummary};
-use bosim::{SimConfig, SimResult, System};
+use bosim::{prefetchers, SimConfig, SimResult, System};
 use bosim_trace::BenchmarkSpec;
 use std::time::Instant;
 
@@ -140,6 +140,52 @@ pub fn measure_suite(
         .collect()
 }
 
+/// One machine configuration's worth of throughput pairs, labelled for
+/// the report.
+#[derive(Debug, Clone)]
+pub struct ArmThroughput {
+    /// The machine label heading this arm's rows (`default`, `4-core`,
+    /// `l2:bo`).
+    pub label: String,
+    /// The measured configuration.
+    pub config: SimConfig,
+    /// One naive/optimized pair per benchmark.
+    pub pairs: Vec<ThroughputPair>,
+}
+
+/// The machine configurations the `perf` binary times: the Table 1
+/// default, a four-core machine (parallel-tick territory, much less
+/// idle time to skip) and an `l2:bo` machine (the paper's subject
+/// prefetcher, busier uncore queues).
+pub fn perf_arms(base: &SimConfig) -> Vec<(String, SimConfig)> {
+    let four_core = SimConfig {
+        active_cores: 4,
+        ..base.clone()
+    };
+    let bo = base.clone().with_prefetcher(prefetchers::bo_default());
+    vec![
+        ("default".to_string(), base.clone()),
+        ("4-core".to_string(), four_core),
+        ("l2:bo".to_string(), bo),
+    ]
+}
+
+/// Aggregate optimized-over-naive speedup across every arm: total
+/// simulated cycles over total wall seconds, both modes summed over all
+/// arms and benchmarks. The CI floor (`BOSIM_PERF_MIN_SPEEDUP`) gates
+/// on this number.
+pub fn aggregate_speedup(arms: &[ArmThroughput]) -> f64 {
+    let naive: Vec<&ThroughputMeasurement> = arms
+        .iter()
+        .flat_map(|a| a.pairs.iter().map(|p| &p.naive))
+        .collect();
+    let optimized: Vec<&ThroughputMeasurement> = arms
+        .iter()
+        .flat_map(|a| a.pairs.iter().map(|p| &p.optimized))
+        .collect();
+    total_mcycles_per_sec(&optimized) / total_mcycles_per_sec(&naive)
+}
+
 /// Aggregate rate: total simulated cycles over total wall seconds.
 fn total_mcycles_per_sec(ms: &[&ThroughputMeasurement]) -> f64 {
     let cycles: u64 = ms.iter().map(|m| m.sim_cycles).sum();
@@ -154,84 +200,103 @@ fn total_muops_per_sec(ms: &[&ThroughputMeasurement]) -> f64 {
 }
 
 /// Builds the `BENCH_throughput` report: one column per benchmark plus
-/// a `TOTAL` column (aggregate rates, not means), one row per metric.
-/// The `speedup` row's `TOTAL` cell is the headline number: optimized
-/// over naive aggregate sim-cycles/sec.
-pub fn throughput_report(base: &SimConfig, pairs: &[ThroughputPair]) -> Report {
-    // Full benchmark names: a bare numeric prefix ("462") reads as a
-    // data point in a throughput table, not a label.
-    let mut benchmarks: Vec<String> = pairs.iter().map(|p| p.naive.benchmark.clone()).collect();
+/// a `TOTAL` column (aggregate rates, not means), and per machine arm
+/// one row per metric. Each arm's `speedup` row's `TOTAL` cell is that
+/// machine's headline number: optimized over naive aggregate
+/// sim-cycles/sec.
+///
+/// # Panics
+///
+/// Panics when `arms` is empty or the arms measured different
+/// benchmark lists — the columns would not line up.
+pub fn throughput_report(arms: &[ArmThroughput]) -> Report {
+    let first = arms.first().expect("at least one throughput arm"); // bosim-lint: allow(P002, harness misuse; the perf binary always passes arms)
+                                                                    // Full benchmark names: a bare numeric prefix ("462") reads as a
+                                                                    // data point in a throughput table, not a label.
+    let mut benchmarks: Vec<String> = first
+        .pairs
+        .iter()
+        .map(|p| p.naive.benchmark.clone())
+        .collect();
     benchmarks.push("TOTAL".to_string());
 
-    let naive: Vec<&ThroughputMeasurement> = pairs.iter().map(|p| &p.naive).collect();
-    let optimized: Vec<&ThroughputMeasurement> = pairs.iter().map(|p| &p.optimized).collect();
+    let mut rows: Vec<ArmReport> = Vec::with_capacity(arms.len() * 5);
+    for a in arms {
+        assert_eq!(
+            a.pairs.len(),
+            first.pairs.len(),
+            "arm {} measured a different benchmark list",
+            a.label
+        );
+        let naive: Vec<&ThroughputMeasurement> = a.pairs.iter().map(|p| &p.naive).collect();
+        let optimized: Vec<&ThroughputMeasurement> = a.pairs.iter().map(|p| &p.optimized).collect();
 
-    let arm = |series: &str, values: Vec<f64>, runs: &[&ThroughputMeasurement]| ArmReport {
-        series: series.to_string(),
-        group: None,
-        config: base.label(),
-        baseline: None,
-        values,
-        gm: None,
-        runs: runs.iter().map(|m| RunSummary::from(&m.result)).collect(),
-    };
-
-    let rates =
-        |ms: &[&ThroughputMeasurement], f: fn(&ThroughputMeasurement) -> f64, total: f64| {
-            let mut v: Vec<f64> = ms.iter().map(|m| f(m)).collect();
-            v.push(total);
-            v
+        let arm = |series: String, values: Vec<f64>, runs: &[&ThroughputMeasurement]| ArmReport {
+            series,
+            group: None,
+            config: a.config.label(),
+            baseline: None,
+            values,
+            gm: None,
+            runs: runs.iter().map(|m| RunSummary::from(&m.result)).collect(),
         };
-    let mut speedups: Vec<f64> = pairs.iter().map(ThroughputPair::speedup).collect();
-    speedups.push(total_mcycles_per_sec(&optimized) / total_mcycles_per_sec(&naive));
+        let rates =
+            |ms: &[&ThroughputMeasurement], f: fn(&ThroughputMeasurement) -> f64, total: f64| {
+                let mut v: Vec<f64> = ms.iter().map(|m| f(m)).collect();
+                v.push(total);
+                v
+            };
+        let mut speedups: Vec<f64> = a.pairs.iter().map(ThroughputPair::speedup).collect();
+        speedups.push(total_mcycles_per_sec(&optimized) / total_mcycles_per_sec(&naive));
+
+        rows.push(arm(
+            format!("{} naive Mcyc/s", a.label),
+            rates(
+                &naive,
+                ThroughputMeasurement::mcycles_per_sec,
+                total_mcycles_per_sec(&naive),
+            ),
+            &naive,
+        ));
+        rows.push(arm(
+            format!("{} opt Mcyc/s", a.label),
+            rates(
+                &optimized,
+                ThroughputMeasurement::mcycles_per_sec,
+                total_mcycles_per_sec(&optimized),
+            ),
+            &optimized,
+        ));
+        rows.push(arm(
+            format!("{} naive Muops/s", a.label),
+            rates(
+                &naive,
+                ThroughputMeasurement::muops_per_sec,
+                total_muops_per_sec(&naive),
+            ),
+            &naive,
+        ));
+        rows.push(arm(
+            format!("{} opt Muops/s", a.label),
+            rates(
+                &optimized,
+                ThroughputMeasurement::muops_per_sec,
+                total_muops_per_sec(&optimized),
+            ),
+            &optimized,
+        ));
+        rows.push(arm(format!("{} speedup", a.label), speedups, &optimized));
+    }
 
     Report {
         name: "BENCH_throughput".to_string(),
         title: format!(
-            "Simulator throughput, {} (naive vs optimized)",
-            base.label()
+            "Simulator throughput, {} machine arms (naive vs optimized)",
+            arms.len()
         ),
         metric: "sim-Mcycles/s".to_string(),
         benchmarks,
-        arms: vec![
-            arm(
-                "naive Mcyc/s",
-                rates(
-                    &naive,
-                    ThroughputMeasurement::mcycles_per_sec,
-                    total_mcycles_per_sec(&naive),
-                ),
-                &naive,
-            ),
-            arm(
-                "opt Mcyc/s",
-                rates(
-                    &optimized,
-                    ThroughputMeasurement::mcycles_per_sec,
-                    total_mcycles_per_sec(&optimized),
-                ),
-                &optimized,
-            ),
-            arm(
-                "naive Muops/s",
-                rates(
-                    &naive,
-                    ThroughputMeasurement::muops_per_sec,
-                    total_muops_per_sec(&naive),
-                ),
-                &naive,
-            ),
-            arm(
-                "opt Muops/s",
-                rates(
-                    &optimized,
-                    ThroughputMeasurement::muops_per_sec,
-                    total_muops_per_sec(&optimized),
-                ),
-                &optimized,
-            ),
-            arm("speedup", speedups, &optimized),
-        ],
+        arms: rows,
         layout: Layout::ArmRows,
         with_gm: false,
         decimals: 3,
@@ -261,15 +326,30 @@ mod tests {
             assert!(p.naive.wall_seconds > 0.0);
             assert!(p.speedup() > 0.0);
         }
-        let report = throughput_report(&cfg, &pairs);
+        let arms = vec![ArmThroughput {
+            label: "default".to_string(),
+            config: cfg,
+            pairs,
+        }];
+        assert!(aggregate_speedup(&arms) > 0.0);
+        let report = throughput_report(&arms);
         assert_eq!(report.name, "BENCH_throughput");
         assert_eq!(report.benchmarks.len(), 3, "two benchmarks plus TOTAL");
-        assert_eq!(report.arms.len(), 5);
+        assert_eq!(report.arms.len(), 5, "five metric rows per machine arm");
         for a in &report.arms {
             assert_eq!(a.values.len(), 3);
         }
         let tsv = report.table().to_tsv();
-        assert!(tsv.contains("speedup"), "{tsv}");
+        assert!(tsv.contains("default speedup"), "{tsv}");
         assert!(tsv.contains("TOTAL"), "{tsv}");
+    }
+
+    #[test]
+    fn perf_arms_cover_multicore_and_bo() {
+        let arms = perf_arms(&SimConfig::default());
+        let labels: Vec<&str> = arms.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["default", "4-core", "l2:bo"]);
+        assert_eq!(arms[1].1.active_cores, 4);
+        assert!(arms[2].1.label().ends_with("/BO"), "{}", arms[2].1.label());
     }
 }

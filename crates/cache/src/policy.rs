@@ -27,7 +27,11 @@ pub struct InsertCtx {
 /// a full set, and [`on_insert`](ReplacementPolicy::on_insert) after
 /// placing a block into a way. `state` is the per-line replacement byte of
 /// the set (one entry per way).
-pub trait ReplacementPolicy: std::fmt::Debug {
+///
+/// Policies must be [`Send`]: caches owned by a core migrate to worker
+/// threads during parallel tick segments (they are still only ever
+/// touched by one thread at a time).
+pub trait ReplacementPolicy: std::fmt::Debug + Send {
     /// Updates state on a cache hit ("upon a cache hit, the hitting block
     /// is always moved to the MRU position").
     fn on_hit(&mut self, set_idx: usize, state: &mut [u8], way: usize);

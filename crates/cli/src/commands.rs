@@ -70,13 +70,15 @@ RUN OPTIONS:
   --report NAME         report id / JSON file stem (default: run_<name>)
   --out DIR             report directory (default BOSIM_REPORT_DIR or target/reports)
   --threads N           worker threads
+  --reps N              run the grid N times and fail unless every repetition
+                        is bit-identical (determinism harness; default 1)
   --events              also record an event trace: writes <report>.trace.json
                         (Perfetto) and <report>.epochs.jsonl next to the report
   --profile             also profile the host: writes <report>.profile.json
 
 SWEEP OPTIONS:
   --corpus FILE         the corpus manifest (see docs/TRACES.md)
-  --out DIR, --threads N  as above
+  --out DIR, --threads N, --reps N  as above
 
 GEN OPTIONS:
   --bench ID            synthetic suite id (433, 462, ... or phase, thrash)
@@ -292,6 +294,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "report",
             "out",
             "threads",
+            "reps",
         ],
         &["events", "profile"],
     )?;
@@ -346,6 +349,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     };
     if let Some(t) = p.get_u64("threads")? {
         e = e.threads(t as usize);
+    }
+    if let Some(r) = p.get_u64("reps")? {
+        e = e.reps(r as usize);
     }
     emit(e, p.get("out"))?;
 
@@ -490,14 +496,16 @@ fn cmd_check_trace(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
-    let p = ParsedArgs::parse(args, &["corpus", "out", "threads"])?;
+    let p = ParsedArgs::parse(args, &["corpus", "out", "threads", "reps"])?;
     no_positionals(&p, "sweep")?;
     let manifest = p.require("corpus")?;
     let corpus = corpus::load(Path::new(manifest)).map_err(|e| CliError::Failed(e.to_string()))?;
-    let e = sweep_experiment(&corpus)?;
-    let mut e = e;
+    let mut e = sweep_experiment(&corpus)?;
     if let Some(t) = p.get_u64("threads")? {
         e = e.threads(t as usize);
+    }
+    if let Some(r) = p.get_u64("reps")? {
+        e = e.reps(r as usize);
     }
     emit(e, p.get("out"))
 }

@@ -56,6 +56,13 @@ pub struct CoreConfig {
     pub il1_size: u64,
     /// IL1 associativity.
     pub il1_ways: usize,
+    /// Decode batch size: µops pulled from the trace source per refill
+    /// of the core's decode ring. `0` (the default) bypasses the ring
+    /// and pulls one µop at a time through the virtual call — the
+    /// reference behaviour the batched path must match exactly (batching
+    /// only changes *when* µops are fetched from the source, never which
+    /// µops the front-end sees).
+    pub decode_batch: usize,
 }
 
 impl Default for CoreConfig {
@@ -75,6 +82,7 @@ impl Default for CoreConfig {
             dl1_ways: 8,
             il1_size: 32 << 10,
             il1_ways: 8,
+            decode_batch: 0,
         }
     }
 }
@@ -197,8 +205,19 @@ pub struct Core {
     ifetch_pending: Option<LineAddr>,
     cur_fetch_vline: u64,
     pending_uop: Option<MicroOp>,
+    /// Decode ring: µops pre-pulled from the trace source in blocks of
+    /// `cfg.decode_batch` (empty and never refilled when batching is
+    /// off). `decode_pos` is the read cursor into it.
+    decode_buf: Vec<MicroOp>,
+    decode_pos: usize,
 
     store_buffer: VecDeque<(u64, u64)>, // (pc, vaddr)
+    /// The head store already charged its one-time TLB probe.
+    store_probed: bool,
+    /// The head store is parked on a full MSHR. Nothing this core does
+    /// on its own can free a slot, so the scheduled loop may sleep the
+    /// core; only a [`fill`](Self::fill) clears the flag.
+    store_blocked: bool,
     ports: Vec<(Cycle, u8)>,
     int_port_ring: Vec<(Cycle, u8)>,
     fp_port_ring: Vec<(Cycle, u8)>,
@@ -243,7 +262,11 @@ impl Core {
             ifetch_pending: None,
             cur_fetch_vline: u64::MAX,
             pending_uop: None,
+            decode_buf: Vec::new(),
+            decode_pos: 0,
             store_buffer: VecDeque::new(),
+            store_probed: false,
+            store_blocked: false,
             ports: vec![(u64::MAX, 0); PORT_RING],
             int_port_ring: vec![(u64::MAX, 0); PORT_RING],
             fp_port_ring: vec![(u64::MAX, 0); PORT_RING],
@@ -519,6 +542,9 @@ impl Core {
     /// Delivers a filled block from the uncore (the sim calls this when
     /// the block is forwarded to the DL1/IL1 fill path).
     pub fn fill(&mut self, line: LineAddr, now: Cycle, out: &mut Vec<UncoreRequest>) {
+        // A fill is the one event that can unpark a head store blocked
+        // on a full MSHR: it frees a slot and may land the line itself.
+        self.store_blocked = false;
         if self.ifetch_pending == Some(line) {
             self.ifetch_pending = None;
             if !self.il1.contains(line) {
@@ -561,24 +587,36 @@ impl Core {
     }
 
     /// Drains one committed store per cycle through the DL1.
+    ///
+    /// A store probes the TLB once, when it first reaches the buffer
+    /// head — a parked store holds its translation, it does not
+    /// re-touch TLB state on every retry. A head parked on a full MSHR
+    /// sets `store_blocked`: every later retry is provably identical
+    /// (the DL1 and MSHR only gain the line, and the MSHR only frees a
+    /// slot, through a fill), so [`next_work_cycle`]
+    /// (Self::next_work_cycle) lets the scheduled loop sleep the core
+    /// instead of spinning here.
     fn drain_store(&mut self, now: Cycle, out: &mut Vec<UncoreRequest>) {
-        let Some(&(pc, vaddr)) = self.store_buffer.front() else {
+        let Some(&(_pc, vaddr)) = self.store_buffer.front() else {
             return;
         };
         let va = VirtAddr(vaddr);
-        let penalty = self
-            .tlbs
-            .data_penalty(va.page_number(self.translator.page_size()));
-        let _ = penalty; // committed stores absorb translation latency
+        if !self.store_probed {
+            // Committed stores absorb translation latency; the probe
+            // still charges the TLB hierarchy (fills + LRU) once.
+            let _ = self
+                .tlbs
+                .data_penalty(va.page_number(self.translator.page_size()));
+            self.store_probed = true;
+        }
         let line = self.translator.translate(va);
-        let _ = pc;
         if self.dl1.access(line, true).is_some() {
-            self.store_buffer.pop_front();
+            self.pop_store();
             return;
         }
         if let Some(e) = self.mshr.find_mut(line) {
             e.store = true;
-            self.store_buffer.pop_front();
+            self.pop_store();
             return;
         }
         if self.mshr.try_alloc(line, now, false) {
@@ -589,9 +627,20 @@ impl Core {
                 class: ReqClass::Demand,
                 ifetch: false,
             });
-            self.store_buffer.pop_front();
+            self.pop_store();
+            return;
         }
-        // MSHR full: the store waits at the buffer head.
+        // MSHR full: the store waits at the buffer head until a fill
+        // frees a slot (or lands the line itself).
+        self.store_blocked = true;
+    }
+
+    /// Retires the head store from the buffer and re-arms the one-shot
+    /// head-store state.
+    fn pop_store(&mut self) {
+        self.store_buffer.pop_front();
+        self.store_probed = false;
+        self.store_blocked = false;
     }
 
     /// Retires up to `retire_width` completed µops in program order,
@@ -626,6 +675,30 @@ impl Core {
         }
     }
 
+    /// The next µop off the decode ring — or straight from the source
+    /// when batching is off. The ring refills in `decode_batch` blocks
+    /// via [`TraceSource::next_block`]; sources are infinite, so a
+    /// refill always produces µops (a defensive fallback covers a
+    /// custom source that ignores the contract).
+    #[inline]
+    fn next_decoded(&mut self) -> MicroOp {
+        if self.cfg.decode_batch == 0 {
+            return self.trace.next_uop();
+        }
+        if self.decode_pos == self.decode_buf.len() {
+            self.decode_buf.clear();
+            self.decode_pos = 0;
+            self.trace
+                .next_block(&mut self.decode_buf, self.cfg.decode_batch);
+            if self.decode_buf.is_empty() {
+                return self.trace.next_uop();
+            }
+        }
+        let u = self.decode_buf[self.decode_pos];
+        self.decode_pos += 1;
+        u
+    }
+
     /// Front end: fetch/dispatch up to `dispatch_width` µops.
     fn dispatch(&mut self, now: Cycle, out: &mut Vec<UncoreRequest>) {
         if now < self.fetch_stalled_until || self.ifetch_pending.is_some() {
@@ -639,7 +712,7 @@ impl Core {
             }
             let uop = match self.pending_uop.take() {
                 Some(u) => u,
-                None => self.trace.next_uop(),
+                None => self.next_decoded(),
             };
             // --- Instruction fetch: 1 line and 1 taken branch per cycle.
             let vline = uop.pc >> 6;
@@ -786,8 +859,10 @@ impl Core {
                 None => {}
             }
         }
-        // Committed stores drain (and probe the DL1) every cycle.
-        if !self.store_buffer.is_empty() {
+        // Committed stores drain (and probe the DL1) every cycle —
+        // except a head parked on a full MSHR, which only an external
+        // fill can move (and a fill re-posts the core anyway).
+        if !self.store_buffer.is_empty() && !self.store_blocked {
             return from;
         }
         // Front end.

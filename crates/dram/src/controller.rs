@@ -289,7 +289,13 @@ impl Channel {
     }
 
     /// One scheduling step (at most one command), on bus-cycle boundaries.
-    fn step(&mut self, cfg: &MemConfig, now: Cycle, l3_can_accept: bool) {
+    ///
+    /// Returns true when any channel state changed (a command issued, a
+    /// write batch started or reset, the served core switched) — false
+    /// means the step was a complete no-op: with the queues and bank
+    /// timers frozen, repeating it before the
+    /// [`next_event`](Self::next_event) bound is provably effect-free.
+    fn step(&mut self, cfg: &MemConfig, now: Cycle, l3_can_accept: bool) -> bool {
         let t = &cfg.timings;
 
         // ---- Urgent mode (§5.3): pre-empts the steady mode. ----
@@ -303,16 +309,17 @@ impl Channel {
                     .find(|&p| self.read_cas_ready(t, now, self.read_q[lagging][p].loc))
                 {
                     self.issue_read_cas(t, now, lagging, pos, true);
-                    return;
+                    return true;
                 }
                 let loc = self.read_q[lagging][0].loc;
                 if self.issue_prep(t, now, loc) {
-                    return;
+                    return true;
                 }
             }
         }
 
         // ---- Write batches. ----
+        let mut changed = false;
         if self.writes_left == 0 {
             let any_full = self
                 .write_q
@@ -323,6 +330,7 @@ impl Channel {
                 && self.pending_writes() > 0
             {
                 self.writes_left = cfg.write_batch;
+                changed = true;
             }
         }
         if self.writes_left > 0 {
@@ -342,55 +350,62 @@ impl Channel {
                     if self.pending_writes() == 0 {
                         self.writes_left = 0;
                     }
-                    return;
+                    return true;
                 }
             }
             for c in 0..self.write_q.len() {
                 if let Some(req) = self.write_q[c].front() {
                     let loc = req.loc;
                     if self.issue_prep(t, now, loc) {
-                        return;
+                        return true;
                     }
                 }
             }
             // Nothing can progress this cycle.
             if self.pending_writes() == 0 {
                 self.writes_left = 0;
+                changed = true;
             }
-            return;
+            return changed;
         }
 
         // ---- Steady-mode reads: FR-FCFS for the served core. ----
         // Change the served core only when it has no row-hit-ready read
-        // (or it has no reads at all).
+        // (or it has no reads at all). A switch never moves the bound
+        // (it covers every queued request) but still counts as a change:
+        // the no-op elision in [`MemorySystem::tick`] must only kick in
+        // once the channel state — served core included — is stable.
         let served_has_row_hit = self.read_q[self.served]
             .iter()
             .any(|r| self.read_cas_ready(t, now, r.loc));
         if !served_has_row_hit {
-            self.served = self.pick_served();
+            let picked = self.pick_served();
+            changed |= picked != self.served;
+            self.served = picked;
         }
         let c = self.served;
         if self.read_q[c].is_empty() {
-            return;
+            return changed;
         }
         // First ready row-hit, else FCFS order for preparation.
         if let Some(pos) =
             (0..self.read_q[c].len()).find(|&p| self.read_cas_ready(t, now, self.read_q[c][p].loc))
         {
             self.issue_read_cas(t, now, c, pos, false);
-            return;
+            return true;
         }
         let loc = self.read_q[c][0].loc;
         if self.issue_prep(t, now, loc) {
-            return;
+            return true;
         }
         // Oldest is timing-blocked; try younger requests' banks.
         for p in 1..self.read_q[c].len() {
             let loc = self.read_q[c][p].loc;
             if self.issue_prep(t, now, loc) {
-                return;
+                return true;
             }
         }
+        changed
     }
 }
 
@@ -399,6 +414,19 @@ impl Channel {
 pub struct MemorySystem {
     cfg: MemConfig,
     channels: Vec<Channel>,
+    /// Bumped on every state change that can move the
+    /// [`next_event`](Self::next_event) bound or a future scheduling
+    /// pick (accepted enqueues, completion pops, issued commands, batch
+    /// transitions, served-core switches). While the
+    /// version holds still, a previously computed bound stays exact —
+    /// callers cache it instead of re-walking the queues every cycle.
+    version: u64,
+    /// While `version` still equals `noop_version`, every tick strictly
+    /// before `noop_until` is a provable no-op (see
+    /// [`tick`](Self::tick)) and returns without touching the channels.
+    noop_version: u64,
+    /// Companion bound to `noop_version` (exclusive).
+    noop_until: Cycle,
 }
 
 impl MemorySystem {
@@ -411,7 +439,20 @@ impl MemorySystem {
         assert!(cfg.num_cores >= 1 && cfg.channels >= 1 && cfg.banks >= 1);
         assert!(cfg.write_batch >= 1);
         let channels = (0..cfg.channels).map(|_| Channel::new(&cfg)).collect();
-        MemorySystem { cfg, channels }
+        MemorySystem {
+            cfg,
+            channels,
+            version: 0,
+            noop_version: 0,
+            noop_until: 0,
+        }
+    }
+
+    /// Opaque state-version counter: unchanged between two calls means
+    /// every [`next_event`](Self::next_event) bound computed in between
+    /// is still exact (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     fn channel_of(&self, line: LineAddr) -> usize {
@@ -453,6 +494,7 @@ impl MemorySystem {
             loc: map_line(line),
             arrival: now,
         });
+        self.version = self.version.wrapping_add(1);
         true
     }
 
@@ -466,6 +508,7 @@ impl MemorySystem {
         q.push_back(WriteReq {
             loc: map_line(line),
         });
+        self.version = self.version.wrapping_add(1);
         true
     }
 
@@ -473,7 +516,20 @@ impl MemorySystem {
     ///
     /// Command scheduling happens on bus-cycle boundaries (every 4 core
     /// cycles); `l3_can_accept` gates the urgent mode as in §5.3.
+    ///
+    /// An effect-free tick caches a forward no-op bound: with every
+    /// queue, bank timer, batch counter and served-core pick frozen (no
+    /// version bump), repeating the scan before the
+    /// [`next_event`](Self::next_event) bound cannot pop a completion or
+    /// issue a command, so later ticks in that window return
+    /// immediately. `l3_can_accept` flips cannot break the proof — the
+    /// urgent mode it gates only *selects among* commands the bound
+    /// already covers.
     pub fn tick(&mut self, now: Cycle, l3_can_accept: bool, out: &mut Vec<ReadCompletion>) {
+        if self.version == self.noop_version && now < self.noop_until {
+            return;
+        }
+        let mut changed = false;
         for ch in &mut self.channels {
             while let Some(&Reverse((t, id, line, core))) = ch.completions.peek() {
                 if t > now {
@@ -485,10 +541,21 @@ impl MemorySystem {
                     line: LineAddr(line),
                     core: CoreId(core),
                 });
+                changed = true;
             }
             if now.is_multiple_of(CORE_CYCLES_PER_BUS_CYCLE) {
-                ch.step(&self.cfg, now, l3_can_accept);
+                changed |= ch.step(&self.cfg, now, l3_can_accept);
             }
+        }
+        if changed {
+            self.version = self.version.wrapping_add(1);
+        } else if now.is_multiple_of(CORE_CYCLES_PER_BUS_CYCLE) {
+            // Only a *boundary* no-op proves the window: it ran the
+            // scheduling step, so "no change" covers the served-core
+            // pick too — a non-boundary tick never ran it and cannot
+            // vouch for the boundaries inside the window.
+            self.noop_version = self.version;
+            self.noop_until = self.next_event(now + 1).unwrap_or(Cycle::MAX);
         }
     }
 

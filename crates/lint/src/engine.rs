@@ -58,6 +58,12 @@ pub const WALL_CLOCK_FILES: [&str; 4] = [
     "crates/obs/src/profile.rs",
 ];
 
+/// The one library module in the determinism-sensitive crates allowed
+/// to spawn threads (rule D004): the deterministic barrier rendezvous.
+/// Everywhere else, worker threads could leak host scheduling order
+/// into simulated results and need a justified allow-pragma.
+pub const THREAD_SPAWN_FILES: [&str; 1] = ["crates/sim/src/barrier.rs"];
+
 impl SourceFile {
     /// Classifies a workspace-relative path. Returns `None` for files
     /// the lint does not scan (lint fixtures, criterion benches).
@@ -106,6 +112,10 @@ impl SourceFile {
 
     fn may_read_wall_clock(&self) -> bool {
         WALL_CLOCK_FILES.contains(&self.path.as_str())
+    }
+
+    fn may_spawn_threads(&self) -> bool {
+        THREAD_SPAWN_FILES.contains(&self.path.as_str())
     }
 }
 
@@ -271,6 +281,30 @@ pub fn analyze(file: &SourceFile, src: &str) -> FileAnalysis {
                 if file.kind == FileKind::Lib =>
             {
                 fire(Rule::D003, t.line, format!("unseeded randomness: {name}"));
+            }
+            // `thread::spawn` / `thread::scope` / `thread::Builder` —
+            // yield_now/available_parallelism don't create threads and
+            // stay legal everywhere.
+            "thread"
+                if file.kind == FileKind::Lib
+                    && file.is_determinism_sensitive()
+                    && !file.may_spawn_threads()
+                    && next.is_some_and(|n| n.is_punct(':'))
+                    && next2.is_some_and(|n| n.is_punct(':'))
+                    && next3.is_some_and(|n| {
+                        matches!(n.ident(), Some("spawn" | "scope" | "Builder"))
+                    }) =>
+            {
+                let what = next3.and_then(|n| n.ident()).unwrap_or("spawn");
+                fire(
+                    Rule::D004,
+                    t.line,
+                    format!(
+                        "thread::{what} in determinism-sensitive crate `{}` outside \
+                         the barrier module (scheduling order may leak into results)",
+                        file.krate
+                    ),
+                );
             }
             _ => {}
         }
@@ -592,6 +626,32 @@ mod tests {
 
         let rng = "use std::collections::hash_map::RandomState;";
         assert_eq!(lint("crates/stats/src/a.rs", rng)[0].rule, Rule::D003);
+    }
+
+    #[test]
+    fn thread_spawning_is_confined_to_the_barrier_module() {
+        for src in [
+            "pub fn f() { std::thread::spawn(|| {}); }",
+            "pub fn f() { std::thread::scope(|s| {}); }",
+            "pub fn f() { let b = std::thread::Builder::new(); }",
+        ] {
+            let v = lint("crates/sim/src/uncore.rs", src);
+            assert_eq!(v.len(), 1, "{src}");
+            assert_eq!(v[0].rule, Rule::D004, "{src}");
+            // The barrier module is the sanctioned home…
+            assert!(lint("crates/sim/src/barrier.rs", src).is_empty(), "{src}");
+            // …and non-sensitive crates may thread freely.
+            assert!(lint("crates/bench/src/runner.rs", src).is_empty(), "{src}");
+        }
+        // Non-spawning thread APIs stay legal everywhere.
+        let benign = "pub fn f() { std::thread::yield_now(); \
+                      let _ = std::thread::available_parallelism(); }";
+        assert!(lint("crates/sim/src/uncore.rs", benign).is_empty());
+        // A justified pragma overrides the confinement.
+        let allowed = "pub fn f() {\n\
+                       // bosim-lint: allow(D004, independent whole-run workers)\n\
+                       std::thread::scope(|s| {}); }";
+        assert!(lint("crates/sim/src/runner.rs", allowed).is_empty());
     }
 
     #[test]

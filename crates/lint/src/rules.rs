@@ -27,6 +27,9 @@ pub enum Rule {
     D002,
     /// Unseeded randomness (`RandomState`, `thread_rng`, …).
     D003,
+    /// `std::thread` spawning in a determinism-sensitive crate outside
+    /// the barrier module.
+    D004,
     /// `.unwrap()` in library code.
     P001,
     /// `.expect(…)` in library code.
@@ -42,10 +45,11 @@ pub enum Rule {
 }
 
 /// Every rule, in report order.
-pub const ALL: [Rule; 9] = [
+pub const ALL: [Rule; 10] = [
     Rule::D001,
     Rule::D002,
     Rule::D003,
+    Rule::D004,
     Rule::P001,
     Rule::P002,
     Rule::P003,
@@ -61,6 +65,7 @@ impl Rule {
             Rule::D001 => "D001",
             Rule::D002 => "D002",
             Rule::D003 => "D003",
+            Rule::D004 => "D004",
             Rule::P001 => "P001",
             Rule::P002 => "P002",
             Rule::P003 => "P003",
@@ -76,6 +81,7 @@ impl Rule {
             Rule::D001 => "hash-iteration",
             Rule::D002 => "wall-clock",
             Rule::D003 => "unseeded-rng",
+            Rule::D004 => "thread-confinement",
             Rule::P001 => "unwrap",
             Rule::P002 => "expect",
             Rule::P003 => "panic",
@@ -99,6 +105,12 @@ impl Rule {
             Rule::D003 => {
                 "unseeded randomness (RandomState, thread_rng, getrandom): \
                  all stochastic behaviour must flow from an explicit seed"
+            }
+            Rule::D004 => {
+                "std::thread spawning in a determinism-sensitive crate outside \
+                 crates/sim/src/barrier.rs: ad-hoc threading can leak scheduling \
+                 order into results — use the barrier rendezvous, or justify \
+                 with an allow-pragma"
             }
             Rule::P001 => ".unwrap() in library code (use typed errors or an allow-pragma)",
             Rule::P002 => ".expect(…) in library code (use typed errors or an allow-pragma)",

@@ -1,0 +1,199 @@
+//! Deterministic rendezvous machinery for parallel core ticking.
+//!
+//! This is the **designated thread module** of the simulator: every
+//! `std::thread` spawn in the determinism-sensitive crates lives here
+//! (the bosim-lint D004 rule pins that down), so the determinism
+//! argument reduces to auditing this file plus the fixed-order
+//! collection pass in [`system`](crate::system).
+//!
+//! The protocol is a command generation counter, not a classic barrier:
+//! the main thread [`issue`](TickSync::issue)s one command per
+//! simulated cycle (the cycle number, or [`STOP`]), workers wake on the
+//! generation bump, process their assigned cores, and bump a
+//! *cumulative* completion counter the main thread waits on. Cumulative
+//! counting avoids a reset race entirely, and a worker that panics
+//! still counts itself done through a drop guard — the main thread then
+//! trips over the poisoned core mailbox and the panic propagates
+//! instead of deadlocking the rendezvous.
+//!
+//! Waits spin briefly and then yield: on an under-provisioned host
+//! (including the single-CPU CI runners) the scheduler can always make
+//! progress, at the cost of wall-clock speedup — never of correctness.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Command value telling workers to exit their loop.
+pub const STOP: u64 = u64::MAX;
+
+/// Spins a few iterations, then yields to the OS scheduler.
+#[inline]
+fn relax(spins: &mut u32) {
+    *spins = spins.wrapping_add(1);
+    if spins.is_multiple_of(64) {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+/// The per-cycle command/completion channel between the main thread and
+/// the tick workers (see the module docs for the protocol).
+#[derive(Debug, Default)]
+pub struct TickSync {
+    /// Generation of the current command; bumped by every `issue`.
+    cmd_gen: AtomicU64,
+    /// The current command payload (a cycle number, or [`STOP`]).
+    cmd: AtomicU64,
+    /// Cumulative worker phase completions across all generations.
+    done: AtomicU64,
+}
+
+impl TickSync {
+    /// A fresh channel at generation zero.
+    pub fn new() -> Self {
+        TickSync::default()
+    }
+
+    /// Main side: publishes the next command. The payload store happens
+    /// before the generation bump (release ordering), so a worker that
+    /// observes the new generation also observes the payload.
+    pub fn issue(&self, cmd: u64) {
+        self.cmd.store(cmd, Ordering::Release);
+        self.cmd_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Worker side: blocks until a command newer than `seen` arrives;
+    /// returns `(generation, command)`.
+    pub fn await_command(&self, seen: u64) -> (u64, u64) {
+        let mut spins = 0u32;
+        loop {
+            let gen = self.cmd_gen.load(Ordering::Acquire);
+            if gen != seen {
+                return (gen, self.cmd.load(Ordering::Acquire));
+            }
+            relax(&mut spins);
+        }
+    }
+
+    /// Worker side: a guard that marks this worker's current phase
+    /// complete when dropped — including on unwind, so a worker panic
+    /// surfaces as a poisoned mailbox instead of a hung rendezvous.
+    pub fn done_guard(&self) -> DoneGuard<'_> {
+        DoneGuard(self)
+    }
+
+    /// Main side: blocks until the cumulative completion count reaches
+    /// `expected` (i.e. `issued_commands * workers`).
+    pub fn await_done(&self, expected: u64) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < expected {
+            relax(&mut spins);
+        }
+    }
+}
+
+/// Completion marker for one worker phase (see [`TickSync::done_guard`]).
+#[derive(Debug)]
+pub struct DoneGuard<'a>(&'a TickSync);
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// The host's available parallelism (`1` when unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `count` worker threads for the duration of `main`, then shuts
+/// them down and propagates any panic. `worker(i)` is expected to loop
+/// on [`TickSync::await_command`] until it sees [`STOP`]; `shutdown` is
+/// always called after `main` (even when `main` panics) and must issue
+/// the [`STOP`] command so the scoped join below cannot hang.
+pub fn scoped_workers<R>(
+    count: usize,
+    worker: impl Fn(usize) + Sync,
+    main: impl FnOnce() -> R,
+    shutdown: impl Fn(),
+) -> R {
+    std::thread::scope(|s| {
+        for i in 0..count {
+            let worker = &worker;
+            s.spawn(move || worker(i));
+        }
+        let r = catch_unwind(AssertUnwindSafe(main));
+        shutdown();
+        match r {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn commands_fan_out_and_completions_accumulate() {
+        let sync = TickSync::new();
+        let hits = AtomicUsize::new(0);
+        const WORKERS: usize = 3;
+        const CYCLES: u64 = 50;
+        let total = scoped_workers(
+            WORKERS,
+            |_w| {
+                let mut seen = 0;
+                loop {
+                    let (gen, cmd) = sync.await_command(seen);
+                    seen = gen;
+                    if cmd == STOP {
+                        break;
+                    }
+                    let _guard = sync.done_guard();
+                    hits.fetch_add(cmd as usize, Ordering::Relaxed);
+                }
+            },
+            || {
+                for cycle in 1..=CYCLES {
+                    sync.issue(cycle);
+                    sync.await_done(cycle * WORKERS as u64);
+                }
+                hits.load(Ordering::Relaxed)
+            },
+            || sync.issue(STOP),
+        );
+        // Every worker saw every command exactly once.
+        let expected = WORKERS * (1..=CYCLES as usize).sum::<usize>();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let sync = TickSync::new();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scoped_workers(
+                1,
+                |_w| {
+                    let (_gen, cmd) = sync.await_command(0);
+                    if cmd != STOP {
+                        let _guard = sync.done_guard();
+                        panic!("worker boom");
+                    }
+                },
+                || {
+                    sync.issue(7);
+                    // The done guard fires on the worker's unwind, so
+                    // this rendezvous completes rather than hanging.
+                    sync.await_done(1);
+                },
+                || sync.issue(STOP),
+            )
+        }));
+        assert!(r.is_err(), "worker panic must propagate");
+    }
+}

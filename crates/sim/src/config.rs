@@ -102,6 +102,16 @@ pub struct SimConfig {
     /// optimization behaviour. Cycle-exact identical results, much
     /// slower; exists purely as the throughput harness's baseline.
     pub naive_hot_path: bool,
+    /// Host threads for the parallel core-tick phase of the scheduled
+    /// (event-wheel) loop. `1` (the default) ticks every core on the
+    /// main thread; `0` means "use the host's available parallelism";
+    /// values are clamped to the active core count. Parallel ticking
+    /// rendezvous at a deterministic barrier every cycle and applies
+    /// uncore effects in fixed core-ID order, so results are
+    /// bit-identical to the serial path whatever the thread count —
+    /// only wall-clock time changes. Ignored (serial) when
+    /// [`fast_forward`](Self::fast_forward) is off.
+    pub tick_threads: usize,
     /// Adaptive prefetch control: when set, the system slices the run
     /// into epochs, distils the uncore's usefulness counters into
     /// [`bosim_adapt::EpochFeedback`], and lets the configured
@@ -147,6 +157,7 @@ impl Default for SimConfig {
             seed: 0xB05EED,
             fast_forward: true,
             naive_hot_path: false,
+            tick_threads: 1,
             adapt: None,
             sample: None,
             obs: ObsConfig::default(),
@@ -629,6 +640,14 @@ impl SimConfigBuilder {
     /// throughput harness's baseline (see [`SimConfig::naive_hot_path`]).
     pub fn naive_hot_path(mut self, enabled: bool) -> Self {
         self.cfg.naive_hot_path = enabled;
+        self
+    }
+
+    /// Sets the host thread count for the parallel core-tick phase
+    /// (`0` = host parallelism, `1` = serial; results are bit-identical
+    /// either way — see [`SimConfig::tick_threads`]).
+    pub fn tick_threads(mut self, threads: usize) -> Self {
+        self.cfg.tick_threads = threads;
         self
     }
 

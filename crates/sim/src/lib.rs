@@ -37,12 +37,14 @@
 
 #![warn(missing_docs)]
 
+mod barrier;
 mod config;
 mod registry;
 mod runner;
 mod spec;
 mod system;
 mod uncore;
+mod wheel;
 
 pub use config::{
     default_instructions, default_warmup, ConfigError, SimConfig, SimConfigBuilder, MAX_CORES,

@@ -201,6 +201,13 @@ pub struct Uncore {
     /// Candidate scratch buffer for the L3 prefetcher.
     l3_cand_buf: Vec<LineAddr>,
     mem: MemorySystem,
+    /// Cached [`MemorySystem::next_event`] bound, valid while
+    /// `mem_seen_version` matches [`MemorySystem::version`]. Amortizes
+    /// the queue walk to once per DRAM state change instead of once per
+    /// quiet cycle (see [`next_ready_after`](Self::next_ready_after)).
+    mem_next: Cycle,
+    /// The DRAM state version `mem_next` was computed at.
+    mem_seen_version: u64,
     /// Dirty L3 victims waiting for a DRAM write-queue slot.
     wb_buf: VecDeque<(LineAddr, CoreId)>,
     completions: Vec<ReadCompletion>,
@@ -275,6 +282,8 @@ impl Uncore {
                 num_cores: cfg.active_cores,
                 ..Default::default()
             }),
+            mem_next: 0,
+            mem_seen_version: u64::MAX,
             wb_buf: VecDeque::new(),
             completions: Vec::new(),
             fwd_needs_entry: vec![false; cfg.active_cores],
@@ -1423,6 +1432,67 @@ impl Uncore {
             Some(e) => t.min(e),
             None => t,
         }
+    }
+
+    /// The next cycle (strictly after `now`) the scheduled loop must
+    /// tick this uncore at — the wake-up it posts to the event wheel
+    /// right after a tick. [`Cycle::MAX`] means fully quiescent: only a
+    /// new core request re-arms it (the system re-posts on dispatch).
+    ///
+    /// Same one-sided contract as
+    /// [`next_event_cycle`](Self::next_event_cycle): early wake-ups are
+    /// no-op ticks, late
+    /// ones never happen. Unlike that method this one has no
+    /// "walk-not-worth-it" decline heuristic — the expensive DRAM queue
+    /// walk is cached and re-done only when [`MemorySystem::version`]
+    /// moves, so even deeply-queued memory phases pay for it once per
+    /// state change rather than once per cycle. The demand-priority
+    /// flags need no term here: a set `sent_demand_this_cycle` flag only
+    /// matters to a later prefetch issue, which requires a non-empty
+    /// prefetch queue — and any non-empty prefetch queue already pins
+    /// the wake-up to the very next cycle.
+    pub fn next_ready_after(&mut self, now: Cycle) -> Cycle {
+        let from = now + 1;
+        if !self.l3_stalled.is_empty()
+            || self.l3_fq.has_ready()
+            || !self.wb_buf.is_empty()
+            || !self.l3_pq.is_empty()
+        {
+            return from;
+        }
+        let mut t = Cycle::MAX;
+        if let Some(&(d, _)) = self.l3_in.front() {
+            if d <= from {
+                return from;
+            }
+            t = t.min(d);
+        }
+        for l2 in &self.l2s {
+            if l2.fq.has_ready() || !l2.stalled.is_empty() || !l2.pq.is_empty() {
+                return from;
+            }
+            if let Some(&(d, _)) = l2.ready_q.front() {
+                if d <= from {
+                    return from;
+                }
+                t = t.min(d);
+            }
+            if let Some(&(d, _)) = l2.fill_out.front() {
+                if d <= from {
+                    return from;
+                }
+                t = t.min(d);
+            }
+        }
+        // DRAM bound, amortized: while the version holds still the bank
+        // and queue state is frozen, so the previously computed bound
+        // stays exact. Recompute only on a state change or once the
+        // cached bound is no longer in the future.
+        if self.mem.version() != self.mem_seen_version || self.mem_next <= now {
+            self.mem_next = self.mem.next_event(from).unwrap_or(Cycle::MAX);
+            self.mem_seen_version = self.mem.version();
+        }
+        t.min(self.mem_next)
     }
 }
 

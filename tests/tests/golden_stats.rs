@@ -181,6 +181,76 @@ fn golden_stats_multicore_large_pages() {
     assert_invariant(cfg, "470");
 }
 
+/// Four active cores under the event-wheel loop: maximum interleaving
+/// of per-core posts, mid-cycle fill wake-ups and uncore re-posting,
+/// with the shared L3 and DRAM fairness machinery fully engaged.
+#[test]
+fn golden_stats_four_cores() {
+    let cfg = SimConfig {
+        active_cores: 4,
+        warmup_instructions: 5_000,
+        measure_instructions: 15_000,
+        ..Default::default()
+    };
+    assert_invariant(cfg, "429");
+}
+
+/// Runs `base` serially (`tick_threads: 1`) and with 2 and 4 tick
+/// threads, asserting bit-identical `SimResult`s: the parallel
+/// rendezvous must be invisible in every simulated counter.
+fn assert_parallel_identical(base: SimConfig, bench_id: &str) {
+    let mut serial = base.clone();
+    serial.tick_threads = 1;
+    let a = run(&serial, bench_id);
+    for threads in [2, 4] {
+        let mut par = base.clone();
+        par.tick_threads = threads;
+        let b = run(&par, bench_id);
+        assert_eq!(
+            a, b,
+            "{bench_id}: tick_threads={threads} diverged from the serial loop"
+        );
+    }
+}
+
+/// Parallel core ticking is a pure wall-clock lever: worker threads
+/// only accumulate per-core effects, and the main thread replays them
+/// in fixed core-ID order, so thread count never shows up in results.
+#[test]
+fn parallel_tick_matches_serial_multicore() {
+    let cfg = SimConfig {
+        active_cores: 4,
+        warmup_instructions: 5_000,
+        measure_instructions: 15_000,
+        ..Default::default()
+    };
+    assert_parallel_identical(cfg, "470");
+}
+
+/// Parallel ticking under adaptive epochs and full tracing: segment
+/// stops must land exactly on epoch boundaries, and observability
+/// events from worker-ticked cores must merge into the shared log in
+/// the same order the serial loop produces.
+#[test]
+fn parallel_tick_matches_serial_with_adapt_and_tracing() {
+    use bosim::adapt::{policies, AdaptConfig};
+    use bosim_obs::ObsConfig;
+    let mut cfg = SimConfig {
+        active_cores: 2,
+        warmup_instructions: 5_000,
+        measure_instructions: 15_000,
+        ..Default::default()
+    };
+    cfg.adapt = Some(AdaptConfig::new(policies::degree_governor()).epoch_cycles(5_000));
+    cfg.obs = ObsConfig {
+        events: true,
+        epochs: true,
+        epoch_cycles: 5_000,
+        ..ObsConfig::default()
+    };
+    assert_parallel_identical(cfg, "429");
+}
+
 #[test]
 fn golden_stats_no_prefetch_small_l3_queue() {
     // Small L3 fill queue: exercises the stall/retry paths under
