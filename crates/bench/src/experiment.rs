@@ -54,7 +54,17 @@ impl Metric {
         }
     }
 
-    fn label(self, with_baseline: bool) -> &'static str {
+    /// The metric value out of a journaled row (the same quantity
+    /// [`value`](Self::value) extracts from a live result — rows store
+    /// both so a resumed sweep can assemble either metric).
+    pub(crate) fn row_value(self, ipc: f64, dram_per_ki: f64) -> f64 {
+        match self {
+            Metric::Ipc => ipc,
+            Metric::DramPerKi => dram_per_ki,
+        }
+    }
+
+    pub(crate) fn label(self, with_baseline: bool) -> &'static str {
         match (self, with_baseline) {
             (Metric::Ipc, false) => "ipc",
             (Metric::Ipc, true) => "speedup",
@@ -302,15 +312,19 @@ impl Experiment {
         self
     }
 
-    /// Runs the deduplicated grid on the worker pool and assembles the
-    /// [`Report`].
+    /// Resolves the experiment into an [`ExperimentPlan`]: the
+    /// deduplicated job list plus everything needed to assemble the
+    /// [`Report`] once results exist. `run` is `plan` + execute +
+    /// [`assemble`](ExperimentPlan::assemble); a resumable sweep
+    /// (`bosim serve`) executes the same plan job by job, journalling
+    /// each completed cell.
     ///
     /// # Errors
     ///
     /// Returns an [`ExperimentError`] when the experiment is empty,
-    /// mixes baseline-paired and raw arms, an arm's configuration is
-    /// invalid, or a simulation job fails.
-    pub fn run(self) -> Result<Report, ExperimentError> {
+    /// mixes baseline-paired and raw arms, or an arm's configuration is
+    /// invalid.
+    pub fn plan(&self) -> Result<ExperimentPlan, ExperimentError> {
         if self.arms.is_empty() {
             return Err(ExperimentError::NoArms);
         }
@@ -344,10 +358,24 @@ impl Experiment {
         // baselines across arms simulate once. The configuration identity
         // is its full Debug rendering (specs carry their parameters).
         let mut jobs: Vec<Job> = Vec::new();
+        let mut job_keys: Vec<String> = Vec::new();
         let mut index: HashMap<(usize, String), usize> = HashMap::new();
-        let mut cell = |jobs: &mut Vec<Job>, bi: usize, bench: &BenchmarkSpec, cfg: &SimConfig| {
-            let key = (bi, format!("{cfg:?}"));
-            *index.entry(key).or_insert_with(|| {
+        let mut cell = |jobs: &mut Vec<Job>,
+                        keys: &mut Vec<String>,
+                        bi: usize,
+                        bench: &BenchmarkSpec,
+                        cfg: &SimConfig| {
+            let debug = format!("{cfg:?}");
+            let key = (bi, debug);
+            *index.entry(key).or_insert_with_key(|(bi, debug)| {
+                // The journal key must survive a process restart, so it
+                // hashes the full configuration identity instead of
+                // relying on in-process indices alone.
+                keys.push(format!(
+                    "{}#{bi}|{:016x}",
+                    bench.short,
+                    crate::journal::fnv64(debug.as_bytes())
+                ));
                 jobs.push(Job {
                     bench: bench.clone(),
                     config: cfg.clone(),
@@ -360,33 +388,76 @@ impl Experiment {
         for arm in &self.arms {
             let mut row = Vec::with_capacity(benchmarks.len());
             for (bi, bench) in benchmarks.iter().enumerate() {
-                let s = cell(&mut jobs, bi, bench, &arm.subject);
-                let b = arm.baseline.as_ref().map(|c| cell(&mut jobs, bi, bench, c));
+                let s = cell(&mut jobs, &mut job_keys, bi, bench, &arm.subject);
+                let b = arm
+                    .baseline
+                    .as_ref()
+                    .map(|c| cell(&mut jobs, &mut job_keys, bi, bench, c));
                 row.push((s, b));
             }
             lookup.push(row);
         }
 
+        let paired = self.arms.iter().any(|a| a.baseline.is_some());
+        Ok(ExperimentPlan {
+            name: self.name.clone(),
+            title: self.title.clone(),
+            metric: self.metric,
+            layout: self.layout,
+            with_gm: self.with_gm,
+            decimals: self.decimals,
+            paired,
+            benchmarks,
+            arms: self
+                .arms
+                .iter()
+                .map(|a| PlannedArm {
+                    series: a.series.clone(),
+                    group: a.group.clone(),
+                    config: a.subject.label(),
+                    baseline: a.baseline.as_ref().map(SimConfig::label),
+                })
+                .collect(),
+            jobs,
+            job_keys,
+            lookup,
+        })
+    }
+
+    /// Runs the deduplicated grid on the worker pool and assembles the
+    /// [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExperimentError`] when the experiment is empty,
+    /// mixes baseline-paired and raw arms, an arm's configuration is
+    /// invalid, or a simulation job fails.
+    pub fn run(self) -> Result<Report, ExperimentError> {
+        let plan = self.plan()?;
         let threads = self.threads.unwrap_or_else(threads);
         eprintln!(
             "[bosim] {}: {} unique jobs ({} arms x {} benchmarks) on {} threads",
             self.name,
-            jobs.len(),
+            plan.jobs.len(),
             self.arms.len(),
-            benchmarks.len(),
+            plan.benchmarks.len(),
             threads,
         );
         let t0 = std::time::Instant::now();
-        let results = run_jobs(&jobs, threads)?;
+        let results = run_jobs(&plan.jobs, threads)?;
         // Extra repetitions re-run the identical grid and must reproduce
         // it exactly; any drift is a determinism bug, so the whole
         // experiment fails rather than silently averaging it away.
         for rep in 2..=self.reps {
-            let again = run_jobs(&jobs, threads)?;
-            if let Some(i) = (0..jobs.len()).find(|&i| again[i] != results[i]) {
+            let again = run_jobs(&plan.jobs, threads)?;
+            if let Some(i) = (0..plan.jobs.len()).find(|&i| again[i] != results[i]) {
                 return Err(ExperimentError::NonDeterministic {
                     rep,
-                    job: format!("{} [{}]", jobs[i].bench.short, jobs[i].config.label()),
+                    job: format!(
+                        "{} [{}]",
+                        plan.jobs[i].bench.short,
+                        plan.jobs[i].config.label()
+                    ),
                 });
             }
         }
@@ -400,48 +471,7 @@ impl Experiment {
                 String::new()
             }
         );
-
-        let paired = self.arms.iter().any(|a| a.baseline.is_some());
-        let arms = self
-            .arms
-            .iter()
-            .zip(&lookup)
-            .map(|(arm, row)| {
-                let values: Vec<f64> = row
-                    .iter()
-                    .map(|&(s, b)| {
-                        let subject = self.metric.value(&results[s]);
-                        match b {
-                            Some(b) => subject / self.metric.value(&results[b]),
-                            None => subject,
-                        }
-                    })
-                    .collect();
-                ArmReport {
-                    series: arm.series.clone(),
-                    group: arm.group.clone(),
-                    config: arm.subject.label(),
-                    baseline: arm.baseline.as_ref().map(SimConfig::label),
-                    gm: arm_gm(&values, self.with_gm),
-                    runs: row
-                        .iter()
-                        .map(|&(s, _)| RunSummary::from(&results[s]))
-                        .collect(),
-                    values,
-                }
-            })
-            .collect();
-
-        Ok(Report {
-            name: self.name,
-            title: self.title,
-            metric: self.metric.label(paired).to_string(),
-            benchmarks: benchmarks.iter().map(|b| b.short.clone()).collect(),
-            arms,
-            layout: self.layout,
-            with_gm: self.with_gm,
-            decimals: self.decimals,
-        })
+        Ok(plan.assemble(&results))
     }
 
     /// Runs the experiment and emits the report (tables + JSON file);
@@ -457,6 +487,157 @@ impl Experiment {
                 eprintln!("[bosim] experiment failed: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// One arm of a resolved [`ExperimentPlan`]: the labels the report
+/// carries, with the configurations already flattened into the job
+/// list.
+#[derive(Debug, Clone)]
+pub struct PlannedArm {
+    /// Series label shown in tables.
+    pub series: String,
+    /// Optional group label for pivoted GM tables.
+    pub group: Option<String>,
+    /// Subject configuration label.
+    pub config: String,
+    /// Baseline configuration label, when the arm reports ratios.
+    pub baseline: Option<String>,
+}
+
+/// A resolved experiment: the deduplicated job grid plus the metadata
+/// needed to assemble the [`Report`] once every job has a result.
+///
+/// Produced by [`Experiment::plan`]. [`Experiment::run`] executes the
+/// whole grid in one process; `bosim serve` executes the same plan one
+/// job at a time, journalling each completed cell (see
+/// [`journal`](crate::journal)) so a killed sweep resumes without
+/// re-running finished work.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    pub(crate) name: String,
+    pub(crate) title: String,
+    pub(crate) metric: Metric,
+    pub(crate) layout: Layout,
+    pub(crate) with_gm: bool,
+    pub(crate) decimals: usize,
+    pub(crate) paired: bool,
+    pub(crate) benchmarks: Vec<BenchmarkSpec>,
+    pub(crate) arms: Vec<PlannedArm>,
+    pub(crate) jobs: Vec<Job>,
+    pub(crate) job_keys: Vec<String>,
+    /// (arm, benchmark) -> (subject job, baseline job) indices.
+    pub(crate) lookup: Vec<Vec<(usize, Option<usize>)>>,
+}
+
+impl ExperimentPlan {
+    /// The experiment id (the report name and JSON file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deduplicated job list, in plan order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The planned arms, in report order.
+    pub fn arms(&self) -> &[PlannedArm] {
+        &self.arms
+    }
+
+    /// The benchmark list, in report order.
+    pub fn benchmarks(&self) -> &[BenchmarkSpec] {
+        &self.benchmarks
+    }
+
+    /// The restart-stable identity of job `i`:
+    /// `<benchmark>#<bench-index>|<fnv64 of the config Debug form>`.
+    /// Two processes planning the same experiment derive the same keys,
+    /// which is what lets a resumed sweep trust journal entries written
+    /// by a previous run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range (keys parallel
+    /// [`jobs`](Self::jobs)).
+    pub fn job_key(&self, i: usize) -> &str {
+        &self.job_keys[i]
+    }
+
+    /// A fingerprint over the whole plan (name, metric, arms, job
+    /// keys). A journal records it so a resume against a *different*
+    /// corpus or arm set is rejected instead of silently mixing grids.
+    pub fn fingerprint(&self) -> String {
+        let mut text = String::new();
+        text.push_str(&self.name);
+        text.push('\n');
+        text.push_str(self.metric.label(self.paired));
+        text.push('\n');
+        for arm in &self.arms {
+            text.push_str(&arm.series);
+            text.push('|');
+            text.push_str(arm.group.as_deref().unwrap_or(""));
+            text.push('|');
+            text.push_str(&arm.config);
+            text.push('|');
+            text.push_str(arm.baseline.as_deref().unwrap_or(""));
+            text.push('\n');
+        }
+        for key in &self.job_keys {
+            text.push_str(key);
+            text.push('\n');
+        }
+        format!("{:016x}", crate::journal::fnv64(text.as_bytes()))
+    }
+
+    /// Assembles the [`Report`] out of one result per planned job
+    /// (same order as [`jobs`](Self::jobs)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `results` is shorter than the job list.
+    pub fn assemble(&self, results: &[SimResult]) -> Report {
+        let arms = self
+            .arms
+            .iter()
+            .zip(&self.lookup)
+            .map(|(arm, row)| {
+                let values: Vec<f64> = row
+                    .iter()
+                    .map(|&(s, b)| {
+                        let subject = self.metric.value(&results[s]);
+                        match b {
+                            Some(b) => subject / self.metric.value(&results[b]),
+                            None => subject,
+                        }
+                    })
+                    .collect();
+                ArmReport {
+                    series: arm.series.clone(),
+                    group: arm.group.clone(),
+                    config: arm.config.clone(),
+                    baseline: arm.baseline.clone(),
+                    gm: arm_gm(&values, self.with_gm),
+                    runs: row
+                        .iter()
+                        .map(|&(s, _)| RunSummary::from(&results[s]))
+                        .collect(),
+                    values,
+                }
+            })
+            .collect();
+
+        Report {
+            name: self.name.clone(),
+            title: self.title.clone(),
+            metric: self.metric.label(self.paired).to_string(),
+            benchmarks: self.benchmarks.iter().map(|b| b.short.clone()).collect(),
+            arms,
+            layout: self.layout,
+            with_gm: self.with_gm,
+            decimals: self.decimals,
         }
     }
 }

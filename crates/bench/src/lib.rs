@@ -39,12 +39,15 @@
 #![warn(missing_docs)]
 
 mod experiment;
+pub mod journal;
 mod report;
 mod throughput;
 
 pub use experiment::{
-    six_baseline_gm_variants, six_baseline_speedup, Experiment, ExperimentError, Metric, VariantFn,
+    six_baseline_gm_variants, six_baseline_speedup, Experiment, ExperimentError, ExperimentPlan,
+    Metric, PlannedArm, VariantFn,
 };
+pub use journal::{JobRow, JournalError};
 pub use report::{ArmReport, Layout, Report, RunSummary};
 pub use throughput::{
     aggregate_speedup, measure, measure_suite, perf_arms, throughput_report, ArmThroughput,

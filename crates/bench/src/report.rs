@@ -74,7 +74,7 @@ impl From<&SimResult> for RunSummary {
 }
 
 impl RunSummary {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj([
             ("benchmark", Json::from(self.benchmark.as_str())),
             ("config", Json::from(self.config.as_str())),

@@ -1,5 +1,5 @@
-//! The `bosim` subcommands: `run`, `sweep`, `inspect`, `gen`, `trace`,
-//! `check-trace`.
+//! The `bosim` subcommands: `run`, `sweep`, `serve`, `inspect`, `gen`,
+//! `trace`, `check-trace`.
 
 use crate::args::{ParsedArgs, UsageError};
 use crate::corpus::{self, Corpus};
@@ -48,6 +48,7 @@ bosim — trace-driven Best-Offset prefetching simulator
 USAGE:
   bosim run --trace FILE [--stack STACK] [options]   replay one trace
   bosim sweep --corpus FILE [options]                run a (trace x stack) grid
+  bosim serve --corpus FILE [options]                checkpointed sharded sweep
   bosim inspect FILE [--format F] [--uops N] [--json] summarise a trace
   bosim gen --bench ID --out FILE [options]          write a synthetic trace
   bosim trace --trace FILE --out FILE [options]      replay + Perfetto export
@@ -80,6 +81,15 @@ SWEEP OPTIONS:
   --corpus FILE         the corpus manifest (see docs/TRACES.md)
   --out DIR, --threads N, --reps N  as above
 
+SERVE OPTIONS:
+  --corpus FILE         the corpus manifest (see docs/TRACES.md)
+  --shards N            worker shard count (default: all cores)
+  --out DIR             journal/stream/report directory (default as above)
+  --abort-after N       test hook: checkpoint N jobs, then stop with exit 1
+                        (also BOSIM_SERVE_ABORT_AFTER); rerunning resumes
+  Completed jobs checkpoint to <name>.journal.jsonl and stream to
+  <name>.stream.jsonl; a killed serve resumes exactly (docs/SERVE.md).
+
 GEN OPTIONS:
   --bench ID            synthetic suite id (433, 462, ... or phase, thrash)
   --uops N              trace length in uops (default 100000)
@@ -107,6 +117,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -116,8 +127,8 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         Some(other) => Err(CliError::Usage(format!(
-            "unknown command {other:?} (expected run, sweep, inspect, gen, \
-             trace or check-trace; see bosim --help)"
+            "unknown command {other:?} (expected run, sweep, serve, inspect, \
+             gen, trace or check-trace; see bosim --help)"
         ))),
         None => Err(CliError::Usage(format!("no command given\n\n{USAGE}"))),
     }
@@ -508,6 +519,54 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         e = e.reps(r as usize);
     }
     emit(e, p.get("out"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, &["corpus", "out", "shards", "abort-after"])?;
+    no_positionals(&p, "serve")?;
+    let manifest = p.require("corpus")?;
+    let corpus = corpus::load(Path::new(manifest)).map_err(|e| CliError::Failed(e.to_string()))?;
+    let experiment = sweep_experiment(&corpus)?;
+    let out_dir = p
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(Report::default_dir);
+    let mut opts = crate::serve::ServeOptions::new(out_dir);
+    if let Some(s) = p.get_u64("shards")? {
+        opts.shards = s as usize;
+    }
+    opts.abort_after = match p.get_u64("abort-after")? {
+        Some(n) => Some(n),
+        None => std::env::var("BOSIM_SERVE_ABORT_AFTER")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+    };
+    let summary = crate::serve::serve(experiment, &opts)?;
+    if summary.aborted {
+        // The abort hook is a deliberate mid-sweep stop (test harness /
+        // CI kill+resume): exit non-zero so drivers notice the sweep is
+        // not finished, with the checkpoint ready to resume from.
+        return Err(CliError::Failed(format!(
+            "serve stopped by --abort-after with {} of {} jobs journaled; \
+             rerun the same command to resume from {}",
+            summary.resumed + summary.ran,
+            summary.total,
+            summary.journal_path.display()
+        )));
+    }
+    println!(
+        "serve complete: {} jobs ({} resumed, {} run, {} stolen); report {}",
+        summary.total,
+        summary.resumed,
+        summary.ran,
+        summary.stolen,
+        summary
+            .report_path
+            .as_deref()
+            .unwrap_or_else(|| Path::new("<unwritten>"))
+            .display()
+    );
+    Ok(())
 }
 
 /// Assembles the (trace × stack) experiment a corpus describes.

@@ -48,13 +48,16 @@ pub const DETERMINISM_CRATES: [&str; 8] = [
 pub const DETERMINISM_FILES: [&str; 1] = ["crates/trace/src/analyze.rs"];
 
 /// Library modules allowed to read wall clocks (rule D002): the bench
-/// timing path (throughput measurement is their purpose), the decode
-/// cache (freshness metadata only, never sim state), and the host
+/// timing path (throughput measurement is their purpose) and the host
 /// profiler (wall time is its product; it never feeds sim state).
-pub const WALL_CLOCK_FILES: [&str; 4] = [
+/// The shared artifact store deliberately needs no entry — its
+/// freshness keys come from filesystem mtimes (`metadata()`), and its
+/// LRU order from a logical counter, never from reading a clock.
+/// Likewise the serve journal and queue: resume ordering is by job
+/// index, so checkpoint files carry no timestamps at all.
+pub const WALL_CLOCK_FILES: [&str; 3] = [
     "crates/bench/src/throughput.rs",
     "crates/bench/src/experiment.rs",
-    "crates/trace/src/ingest.rs",
     "crates/obs/src/profile.rs",
 ];
 
@@ -620,6 +623,20 @@ mod tests {
         let now = "pub fn t() { let _ = std::time::Instant::now(); }";
         assert_eq!(lint("crates/stats/src/a.rs", now)[0].rule, Rule::D002);
         assert!(lint("crates/bench/src/throughput.rs", now).is_empty());
+
+        // The checkpoint/resume path is deliberately wall-clock-free:
+        // the artifact store keys freshness on filesystem mtimes and a
+        // logical LRU counter, and the serve journal orders rows by
+        // job index, so none of these modules holds a D002 allowance.
+        for path in [
+            "crates/trace/src/artifact.rs",
+            "crates/trace/src/ingest.rs",
+            "crates/bench/src/journal.rs",
+            "crates/cli/src/queue.rs",
+            "crates/cli/src/serve.rs",
+        ] {
+            assert_eq!(lint(path, now)[0].rule, Rule::D002, "{path}");
+        }
         // The type alone (without ::now) is fine anywhere.
         let ty = "pub fn t(at: std::time::Instant) {}";
         assert!(lint("crates/stats/src/a.rs", ty).is_empty());

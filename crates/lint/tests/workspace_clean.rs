@@ -23,9 +23,10 @@ fn workspace_is_lint_clean() {
         report.files_scanned
     );
     // All schema-marked structs were cross-checked: the three report
-    // structs plus the five observability schemas (report, event,
-    // epoch, profile, profile-phase).
-    assert_eq!(report.schemas_checked, 8, "schema markers went missing");
+    // structs, the five observability schemas (report, event, epoch,
+    // profile, profile-phase) and the three sweep-service schemas
+    // (journal header, journal row, stream event).
+    assert_eq!(report.schemas_checked, 11, "schema markers went missing");
 }
 
 #[test]

@@ -19,13 +19,13 @@
 //!
 //! See `docs/TRACES.md` for the on-disk format specifications.
 
+use crate::artifact::ArtifactStore;
 use crate::source::ReplaySource;
 use crate::{addr, champsim, file};
-use std::collections::HashMap;
 use std::fmt;
 use std::io::Read;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
 /// The on-disk trace formats the simulator ingests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,12 +246,14 @@ impl ExternalSpec {
 
     /// Loads the trace into a looping [`ReplaySource`].
     ///
-    /// Decoded traces are cached process-wide, keyed by (path, format,
-    /// file length, mtime): an experiment grid replaying the same file
-    /// in many cells decodes it once and shares one allocation
-    /// (rewriting the file on disk invalidates the entry). The cache
-    /// holds traces for the process lifetime — the working set of a
-    /// sweep is its corpus.
+    /// Decoded traces go through the process-global
+    /// [`ArtifactStore`], keyed by (path, format,
+    /// file length, mtime): an experiment grid — or many `bosim serve`
+    /// worker shards — replaying the same file in many cells decodes it
+    /// once and shares one allocation. Rewriting the file on disk
+    /// invalidates the entry, and entries evicted by the store's size
+    /// bound spill to a cache directory instead of re-decoding. See the
+    /// [`artifact`](crate::artifact) module docs.
     ///
     /// # Errors
     ///
@@ -261,64 +263,53 @@ impl ExternalSpec {
         Ok(ReplaySource::from_shared(&self.name, self.load_shared()?))
     }
 
-    /// The cached-decode backend of [`load`](Self::load).
+    /// The cached-decode backend of [`load`](Self::load): the
+    /// process-global [`ArtifactStore`].
     fn load_shared(&self) -> Result<Arc<Vec<crate::MicroOp>>, TraceError> {
-        type CacheKey = (PathBuf, &'static str, u64, Option<std::time::SystemTime>);
-        type Cache = Mutex<HashMap<CacheKey, Arc<Vec<crate::MicroOp>>>>;
-        static CACHE: OnceLock<Cache> = OnceLock::new();
-
-        let meta = std::fs::metadata(&self.path).map_err(|e| TraceError::Io {
-            path: self.path.clone(),
-            error: e,
-        })?;
-        let key: CacheKey = (
-            self.path.clone(),
-            self.format.name(),
-            meta.len(),
-            meta.modified().ok(),
-        );
-        let cache = CACHE.get_or_init(Default::default);
-        // bosim-lint: allow(P002, cache mutex poisons only if a decode panicked)
-        if let Some(hit) = cache.lock().expect("trace cache poisoned").get(&key) {
-            return Ok(Arc::clone(hit));
-        }
-        let open = || {
-            std::fs::File::open(&self.path).map_err(|e| TraceError::Io {
-                path: self.path.clone(),
-                error: e,
-            })
-        };
-        let uops = match self.format {
-            TraceFormat::Native => {
-                let mut buf = Vec::new();
-                std::io::Read::read_to_end(&mut open()?, &mut buf).map_err(|e| TraceError::Io {
-                    path: self.path.clone(),
-                    error: e,
-                })?;
-                let uops = file::decode(&buf)?;
-                if uops.is_empty() {
-                    return Err(file::TraceFileError::Corrupt {
-                        what: "empty trace",
-                        record: 0,
-                        offset: file::HEADER_BYTES,
-                    }
-                    .into());
-                }
-                uops
-            }
-            TraceFormat::ChampSim => champsim::decode(std::io::BufReader::new(open()?))?,
-            TraceFormat::AddrText => addr::lower(&addr::parse_text(open()?)?),
-            TraceFormat::AddrBin => {
-                addr::lower(&addr::parse_binary(std::io::BufReader::new(open()?))?)
-            }
-        };
-        let uops = Arc::new(uops);
-        cache
-            .lock()
-            .expect("trace cache poisoned") // bosim-lint: allow(P002, cache mutex poisons only if a decode panicked)
-            .insert(key, Arc::clone(&uops));
-        Ok(uops)
+        ArtifactStore::global().load(self)
     }
+}
+
+/// One uncached source-format decode of `path` — the expensive path the
+/// [`ArtifactStore`] bounds to once per file
+/// generation per process.
+///
+/// # Errors
+///
+/// Returns the wrapped per-format decode error; empty traces are
+/// rejected by every decoder.
+pub(crate) fn decode_file(
+    path: &Path,
+    format: TraceFormat,
+) -> Result<Vec<crate::MicroOp>, TraceError> {
+    let open = || {
+        std::fs::File::open(path).map_err(|e| TraceError::Io {
+            path: path.to_path_buf(),
+            error: e,
+        })
+    };
+    Ok(match format {
+        TraceFormat::Native => {
+            let mut buf = Vec::new();
+            std::io::Read::read_to_end(&mut open()?, &mut buf).map_err(|e| TraceError::Io {
+                path: path.to_path_buf(),
+                error: e,
+            })?;
+            let uops = file::decode(&buf)?;
+            if uops.is_empty() {
+                return Err(file::TraceFileError::Corrupt {
+                    what: "empty trace",
+                    record: 0,
+                    offset: file::HEADER_BYTES,
+                }
+                .into());
+            }
+            uops
+        }
+        TraceFormat::ChampSim => champsim::decode(std::io::BufReader::new(open()?))?,
+        TraceFormat::AddrText => addr::lower(&addr::parse_text(open()?)?),
+        TraceFormat::AddrBin => addr::lower(&addr::parse_binary(std::io::BufReader::new(open()?))?),
+    })
 }
 
 #[cfg(test)]

@@ -56,6 +56,7 @@
 
 pub mod addr;
 pub mod analyze;
+pub mod artifact;
 pub mod champsim;
 pub mod file;
 pub mod ingest;
@@ -66,6 +67,7 @@ mod source;
 pub mod suite;
 pub mod synth;
 
+pub use artifact::{ArtifactCounters, ArtifactStore};
 pub use ingest::{ExternalSpec, TraceError, TraceFormat};
 pub use record::{BranchInfo, MemRef, MicroOp, Reg, UopKind, NUM_REGS};
 pub use sample::{SampleSpec, SampledSource};
